@@ -1,0 +1,19 @@
+"""Ablation A1: the section 6.4 daemon proposal vs rsh.
+
+Paper: "it is always possible to write a better application which, by
+use of a UNIX daemon process and a well known port can achieve more
+satisfactory results."
+"""
+
+from repro.bench import ablation_daemon_vs_rsh
+from conftest import run_figure
+
+
+def test_daemon_vs_rsh(benchmark):
+    result = run_figure(benchmark, ablation_daemon_vs_rsh)
+    rsh_row, daemon_row = result["rows"]
+    assert rsh_row["case"] == "rsh"
+    # the daemon path is several times faster end to end
+    assert daemon_row["speedup"] > 3.0
+    # and in absolute terms no longer "half a minute"
+    assert daemon_row["real_us"] < 10_000_000

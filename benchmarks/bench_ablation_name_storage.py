@@ -1,0 +1,23 @@
+"""Ablation A3: dynamic name strings vs fixed-size fields.
+
+Paper (section 5.1): "Dynamically allocated strings were used instead
+of fixed length strings, because ... they would have had to be large
+enough to accommodate large path names, even though most path names
+are usually of small length.  This would have led to wasting large
+amounts of kernel memory."
+"""
+
+from repro.bench import ablation_name_storage
+from conftest import run_figure
+
+
+def test_name_storage(benchmark):
+    result = run_figure(benchmark, ablation_name_storage,
+                        open_files=(4, 16, 64))
+    for row in result["rows"]:
+        # dynamic allocation always wins, by a lot
+        assert row["dynamic_bytes"] < row["fixed_bytes"]
+        assert row["saving"] > 0.5
+    # the saving persists as the file population grows
+    biggest = result["rows"][-1]
+    assert biggest["saving"] > 0.7

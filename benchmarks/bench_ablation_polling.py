@@ -1,0 +1,28 @@
+"""Ablation A2: dumpproc's one-second polling sleep.
+
+Paper (section 6.2): "The large discrepancy between CPU and real time
+can be explained by noting that the three files ... are created by
+the process that is being dumped ... To avoid busy loops, dumpproc
+simply sleeps for one second after each unsuccessful attempt."
+
+Sweeping the sleep interval shows the real/CPU gap scales with it —
+the gap is a property of the polling strategy, not of the mechanism.
+"""
+
+from repro.bench import ablation_polling_interval
+from conftest import run_figure
+
+
+def test_polling_interval(benchmark):
+    result = run_figure(benchmark, ablation_polling_interval,
+                        intervals=(0.1, 0.5, 1, 2))
+    rows = result["rows"]
+    reals = [row["real_us"] for row in rows]
+    gaps = [row["gap"] for row in rows]
+    # real time grows with the sleep interval ...
+    assert reals == sorted(reals)
+    assert reals[-1] > reals[0] + 1_000_000
+    # ... while CPU stays flat, so the gap widens
+    assert gaps[-1] > gaps[0] * 1.5
+    cpus = [row["cpu_us"] for row in rows]
+    assert max(cpus) < min(cpus) * 1.3

@@ -1,0 +1,21 @@
+"""Ablation A4: the systemwide load-balancing measurement.
+
+The paper's future work ("implement one of the applications described
+in Section 8 and measure the performance of our mechanism in that
+context"): two CPU hogs on one workstation vs the same two hogs with
+the load balancer allowed one move.
+"""
+
+from repro.bench import app_load_balancing
+from conftest import run_figure
+
+
+def test_load_balancing_makespan(benchmark):
+    result = run_figure(benchmark, app_load_balancing,
+                        iterations=400_000, hogs=2)
+    baseline, balanced = result["rows"]
+    # two jobs on two machines beat two jobs on one, even after
+    # paying the migration cost
+    assert balanced["speedup"] > 1.3
+    # but not by more than the theoretical 2x
+    assert balanced["speedup"] < 2.0

@@ -1,0 +1,18 @@
+"""Ablation A5: the section 7 getpid()/gethostname() compatibility
+extension.
+
+Paper: "One solution ... is to add an extra field for an old process
+id and maybe even an old host name in the user structure, and change
+the getpid() and gethostname() system calls to return those new
+fields if the process has been migrated."
+"""
+
+from repro.bench import ext_compat_ids
+from conftest import run_figure
+
+
+def test_compat_ids(benchmark):
+    result = run_figure(benchmark, ext_compat_ids)
+    stock, compat = result["rows"]
+    assert stock["outcome"] == "LOST its temp file"
+    assert compat["outcome"] == "survives"

@@ -1,0 +1,21 @@
+"""Figure 1: overhead of the modified open()/close() and chdir().
+
+Paper: "Our measurements show an overhead of about forty per cent
+(44% for open()/close(), 36% for chdir())."
+"""
+
+from repro.bench import fig1
+from conftest import run_figure
+
+
+def test_fig1_syscall_overhead(benchmark):
+    result = run_figure(benchmark, fig1)
+    by_call = {row["call"]: row for row in result["rows"]}
+
+    open_close = by_call["open/close"]
+    chdir = by_call["chdir"]
+    # the modified kernel is slower — by roughly forty per cent
+    assert 1.30 < open_close["measured"] < 1.60
+    assert 1.25 < chdir["measured"] < 1.50
+    # open/close pays more than chdir (the dynamic allocation)
+    assert open_close["measured"] > chdir["measured"]

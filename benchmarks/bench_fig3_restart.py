@@ -1,0 +1,29 @@
+"""Figure 3: execve() vs rest_proc() vs restart.
+
+Paper: "rest_proc() takes only slightly longer than execve(), which
+is entirely satisfactory.  The restart application takes
+significantly longer (roughly five times more CPU time and six times
+more real time) than execve()", with the execve anchor "less than 0.2
+seconds, both in real and CPU time".
+"""
+
+from repro.bench import fig3
+from conftest import run_figure
+
+
+def test_fig3_restart(benchmark):
+    result = run_figure(benchmark, fig3)
+    rows = {row["case"]: row for row in result["rows"]}
+
+    rest_proc = rows["rest_proc"]
+    restart = rows["restart"]
+    # rest_proc only slightly longer than execve
+    assert 1.0 < rest_proc["measured_real"] < 1.6
+    assert 1.0 < rest_proc["measured_cpu"] < 1.6
+    # restart significantly longer: around 5-6x real time
+    assert 3.5 < restart["measured_real"] < 8.0
+    assert restart["measured_cpu"] > 4.0
+    # the dotted line: rest_proc is a minority share of restart
+    assert restart["rest_proc_share_real"] < 0.5
+    # absolute anchor: exec of the test program < 0.2 s
+    assert result["anchor_execve_real_s"] < 0.2

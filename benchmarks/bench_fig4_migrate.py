@@ -1,0 +1,34 @@
+"""Figure 4: migrate vs separate dumpproc+restart, four localities.
+
+Paper: "depending on where the process was originally running and to
+where it is to be restarted, migrate may take as much as ten times
+more as it would take to run dumpproc and restart on the appropriate
+machines.  For our test program, this amounts to almost half a
+minute."  Also: "The difference between the local->remote and
+remote->local cases is due to the fact that, in each case, different
+programs are executed with a remote shell."
+"""
+
+from repro.bench import fig4
+from conftest import run_figure
+
+
+def test_fig4_migrate(benchmark):
+    result = run_figure(benchmark, fig4)
+    rows = result["rows"]
+    ll, lr, rl, rr = rows
+
+    # fully local migrate costs little more than the two commands
+    assert ll["measured"] < 2.0
+    # any rsh makes it several times slower
+    assert lr["measured"] > 4.0
+    assert rl["measured"] > 4.0
+    # L->R and R->L differ (different programs run remotely)
+    assert abs(lr["migrate_us"] - rl["migrate_us"]) > 10_000
+    # fully remote is the worst: around an order of magnitude,
+    # "almost half a minute" in absolute terms
+    assert rr["measured"] > 8.0
+    assert 15 < rr["migrate_us"] / 1e6 < 45
+    # monotone: more rsh, more time
+    assert ll["migrate_us"] < lr["migrate_us"] < rr["migrate_us"]
+    assert ll["migrate_us"] < rl["migrate_us"] < rr["migrate_us"]

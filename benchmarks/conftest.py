@@ -1,0 +1,51 @@
+"""Benchmark harness helpers.
+
+Each benchmark runs one figure driver through pytest-benchmark (one
+round — the simulation is deterministic, host-time variance is
+irrelevant), prints the paper-vs-measured table, stores the virtual
+times in ``benchmark.extra_info`` and asserts the paper's *shape*.
+"""
+
+import sys
+
+from repro.clock import fmt_us
+
+
+def run_figure(benchmark, driver, **kw):
+    """Run ``driver`` once under pytest-benchmark; returns its result."""
+    result = benchmark.pedantic(lambda: driver(**kw), rounds=1,
+                                iterations=1)
+    benchmark.extra_info["figure"] = result["figure"]
+    for index, row in enumerate(result["rows"]):
+        for key, value in row.items():
+            if isinstance(value, (int, float)):
+                benchmark.extra_info["%d_%s" % (index, key)] = \
+                    round(value, 3)
+    print_figure(result)
+    return result
+
+
+def print_figure(result):
+    out = sys.stdout
+    out.write("\n=== Figure %s: %s ===\n" % (result["figure"],
+                                             result["title"]))
+    rows = result["rows"]
+    keys = list(rows[0].keys())
+    header = "  ".join("%-22s" % k if i == 0 else "%14s" % k
+                       for i, k in enumerate(keys))
+    out.write(header + "\n")
+    for row in rows:
+        cells = []
+        for index, key in enumerate(keys):
+            value = row[key]
+            if isinstance(value, float):
+                if key.endswith("_us"):
+                    text = fmt_us(value)
+                else:
+                    text = "%.2f" % value
+            else:
+                text = str(value)
+            cells.append("%-22s" % text if index == 0
+                         else "%14s" % text)
+        out.write("  ".join(cells) + "\n")
+    out.flush()

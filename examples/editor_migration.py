@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Migrating a visual (raw-mode) program — and the rsh caveat.
+
+The paper (section 4.1): terminal modes "are preserved, so that
+visual applications such as screen editors can be restarted properly"
+— but through rsh "certain terminal modes can not be preserved ...
+thus, in these cases, making this command unsuitable for the
+migration of visually oriented programs."
+
+We run a raw-mode editor, migrate it with a *local* restart (modes
+preserved, a redraw picks up where we left off), then show what rsh
+does to a second editor: the process survives but has no terminal.
+"""
+
+from repro.core.api import MigrationSite
+from repro.kernel.constants import TF_RAW, TTY_DEFAULT_FLAGS
+
+
+def main():
+    site = MigrationSite()
+    site.run_quiet()
+    brick = site.machine("brick")
+    schooner = site.machine("schooner")
+
+    print("starting the editor on brick; it switches to raw mode")
+    editor = site.start("brick", "/bin/editor", uid=100)
+    site.run_until(lambda: "=== ed ===" in site.console("brick"))
+    print("   brick console flags: 0o%o (raw=%s)"
+          % (brick.console.flags, brick.console.is_raw()))
+    site.type_at("brick", "hi")  # two raw keystrokes
+    site.run_until(lambda: "[i]" in site.console("brick"))
+    print("   typed 'h', 'i' -> editor echoed %r"
+          % site.console("brick").splitlines()[-1])
+
+    print("\nmigrating with dumpproc + local restart on schooner")
+    site.dumpproc("brick", editor.pid, uid=100)
+    moved = site.restart("schooner", editor.pid, from_host="brick",
+                         uid=100)
+    print("   schooner console flags: 0o%o (raw=%s) -- preserved!"
+          % (schooner.console.flags, schooner.console.is_raw()))
+    assert schooner.console.flags == TF_RAW
+
+    print("   pressing 'r' to redraw (the paper: '^L in most cases')")
+    site.type_at("schooner", "r")
+    site.run_until(lambda: "=== ed ===" in site.console("schooner"))
+    site.run_until(lambda: "hi" in site.console("schooner"))
+    print("   the buffer ('hi') survived the move:")
+    for line in site.console("schooner").splitlines():
+        print("      " + line)
+    site.type_at("schooner", "q")  # quit cleanly, restore modes
+    site.run_until(lambda: moved.exited)
+    print("   editor quit; schooner flags back to 0o%o"
+          % schooner.console.flags)
+    assert schooner.console.flags == TTY_DEFAULT_FLAGS
+
+    print("\nnow the cautionary tale: restart through rsh")
+    editor2 = site.start("brick", "/bin/editor", uid=100)
+    site.run_until(lambda: editor2.proc.wchan is not None)
+    site.dumpproc("brick", editor2.pid, uid=100)
+    site.machine("brador").spawn(
+        "/bin/rsh", ["rsh", "schooner", "restart",
+                     "-p", str(editor2.pid), "-h", "brick"],
+        uid=100, cwd="/tmp")
+    site.run_until(lambda: site.find_restarted("schooner") is not None)
+    site.run(max_steps=300_000)
+    ghost = site.find_restarted("schooner")
+    print("   the editor is alive on schooner (pid %d) ..."
+          % ghost.pid)
+    print("   ... but its controlling terminal is: %r"
+          % ghost.user.tty)
+    print("   ... and schooner's console flags stayed 0o%o (no raw)"
+          % schooner.console.flags)
+    print("   => keyboard input can never reach it: 'useless', as "
+          "the paper says.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Load balancing with migration (section 8 + the paper's future work).
+
+Four CPU-bound jobs all land on brick while schooner sits idle.  The
+load balancer selects jobs that have been running "for more than a
+certain amount of time" and moves them with dumpproc/restart (not the
+slow rsh-based migrate — the paper's own advice).  We compare the
+makespan against the unbalanced run and check every job's checksum.
+"""
+
+from repro.apps import LoadBalancer, LoadBalancerPolicy
+from repro.core.api import MigrationSite
+from repro.programs.guest.cpuhog import expected_checksum
+
+ITERATIONS = 300_000
+JOBS = 4
+
+
+def run(balance):
+    site = MigrationSite(daemons=False)
+    handles = [site.start("brick", "/bin/cpuhog",
+                          ["cpuhog", str(ITERATIONS)], uid=100)
+               for __ in range(JOBS)]
+    site.run(until_us=300_000)  # let them accumulate some CPU
+
+    balancer = LoadBalancer(
+        site, ["brick", "schooner"], uid=100,
+        policy=LoadBalancerPolicy(min_cpu_seconds=0.05,
+                                  imbalance_threshold=2,
+                                  max_moves_per_round=4))
+    if balance:
+        moves = balancer.step()
+        for move in moves:
+            print("   moved pid %d: %s -> %s (new pid %d)"
+                  % (move.pid, move.source, move.destination,
+                     move.new_proc.pid))
+        print("   loads now:", balancer.loads())
+
+    site.run_until(
+        lambda: all(not p.is_vm() or p.zombie()
+                    for m in site.cluster.machines.values()
+                    for p in m.kernel.procs.all_procs()),
+        max_steps=80_000_000)
+    return site
+
+
+def checksums(site):
+    import re
+    found = []
+    for host in ("brick", "schooner"):
+        found.extend(int(match) for match in
+                     re.findall(r"checksum=(\d+)",
+                                site.console(host)))
+    return found
+
+
+def main():
+    print("running %d jobs of %d iterations, all started on brick"
+          % (JOBS, ITERATIONS))
+
+    print("\nwithout load balancing:")
+    site = run(balance=False)
+    unbalanced = site.wall_seconds()
+    print("   makespan: %.1f virtual seconds" % unbalanced)
+
+    print("\nwith load balancing:")
+    site = run(balance=True)
+    balanced = site.wall_seconds()
+    print("   makespan: %.1f virtual seconds" % balanced)
+
+    expected = expected_checksum(ITERATIONS)
+    sums = checksums(site)
+    print("\nchecksums after migration: %s (expected %d)"
+          % (sums, expected))
+    assert all(s == expected for s in sums)
+    assert len(sums) == JOBS
+    print("speedup from balancing: %.2fx" % (unbalanced / balanced))
+
+
+if __name__ == "__main__":
+    main()

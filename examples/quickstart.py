@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's section 4.2 walkthrough, end to end.
+
+We run a program on a machine called *brick* and move it to a machine
+called *schooner* — both ways the paper describes:
+
+1. ``dumpproc -p <pid>`` on brick, then ``restart -p <pid> -h brick``
+   on schooner;
+2. ``migrate -p <pid> -f brick -t schooner`` typed on schooner.
+
+The test program is the paper's own: it increments and prints a
+register counter, a static (data segment) counter and a stack counter,
+then reads a line and appends it to an output file.  If migration is
+transparent, all three counters continue across machines, and the
+output file keeps appending at the right offset.
+"""
+
+from repro.core.api import MigrationSite
+
+
+def banner(text):
+    print("\n" + "=" * 64)
+    print(text)
+    print("=" * 64)
+
+
+def show_console(site, host):
+    print("--- %s console " % host + "-" * (47 - len(host)))
+    for line in site.console(host).splitlines():
+        print("    " + line)
+    print("-" * 64)
+
+
+def main():
+    banner("Booting the site: brick + schooner + file server brador")
+    site = MigrationSite()
+    site.run_quiet()
+    print("machines:", ", ".join(site.cluster.hosts()))
+
+    banner("Start the test program on brick (as user alonso)")
+    job = site.start("brick", "/bin/counter", uid=100)
+    site.run_until(lambda: site.console("brick").count("> ") >= 1)
+    site.type_at("brick", "first line\n")
+    site.run_until(lambda: site.console("brick").count("> ") >= 2)
+    show_console(site, "brick")
+    print("pid on brick: %d" % job.pid)
+
+    banner("Way 1: dumpproc on brick, restart on schooner")
+    print("$ dumpproc -p %d        (on brick)" % job.pid)
+    site.dumpproc("brick", job.pid, uid=100)
+    print("dump files written to brick:/usr/tmp/{a.out,files,stack}%d"
+          % job.pid)
+    print("$ restart -p %d -h brick   (on schooner)" % job.pid)
+    migrated = site.restart("schooner", job.pid, from_host="brick",
+                            uid=100)
+    print("restarted as pid %d on schooner (the restart process was "
+          "overlaid)" % migrated.pid)
+
+    # the restored program is blocked in its read; type to continue
+    site.type_at("schooner", "second line\n")
+    site.run_until(lambda: "r=3 s=3 k=3" in site.console("schooner"))
+    show_console(site, "schooner")
+    data = site.machine("brick").fs.read_file("/tmp/counter.out")
+    print("output file on brick (offset preserved over NFS): %r"
+          % data)
+    assert data == b"first line\nsecond line\n"
+    assert "r=3 s=3 k=3" in site.console("schooner")
+
+    banner("Way 2: the migrate command (schooner -> brick, via rsh)")
+    pid = migrated.pid
+    t0 = site.wall_seconds()
+    print("$ migrate -p %d -f schooner -t brick   (typed on brick)"
+          % pid)
+    handle = site.migrate(pid, "schooner", "brick", typed_on="brick",
+                          uid=100)
+    print("migrate exited %d after %.1f virtual seconds "
+          "(rsh dominates!)" % (handle.exit_status,
+                                site.wall_seconds() - t0))
+    back = site.find_restarted("brick")
+    site.machine("brick").console.clear_output()
+    site.type_at("brick", "third line\n")
+    site.run_until(lambda: "r=4 s=4 k=4" in site.console("brick"))
+    show_console(site, "brick")
+    print("counters r=4 s=4 k=4: two migrations, nothing lost.")
+
+
+if __name__ == "__main__":
+    main()

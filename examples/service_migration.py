@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Migrating a live network service (the paper's section 9 future
+work, explored).
+
+A server holds a listening socket on a well-known port — the one
+thing the paper's mechanism cannot move ("the main limitation is the
+inability to redirect pipes and sockets").  With the experimental
+``migrate_listening_sockets`` kernel option, the dump records the
+bound port and ``restart`` re-binds it on the destination; the server
+— dumped while blocked in ``accept()`` — simply resumes accepting.
+
+Run to see a service answer on brick, move to schooner mid-life, and
+keep counting requests where it left off.
+"""
+
+from repro.costmodel import CostModel
+from repro.core.api import MigrationSite
+from repro.errors import iserr
+from repro.programs.guest.portserver import PORT
+
+
+def client(site, client_host, server_host, message):
+    out = []
+
+    def main(argv, env):
+        from repro.programs.base import read_all
+        sock = yield ("socket",)
+        result = yield ("connect", sock, server_host, PORT)
+        if iserr(result):
+            out.append("connection refused")
+            return 1
+        yield ("write", sock, message.encode())
+        reply = yield from read_all(sock)
+        out.append(reply.decode())
+        return 0
+
+    machine = site.machine(client_host)
+    name = "client%d" % machine.clock.now_us
+    machine.install_native_program(name, main)
+    handle = machine.spawn("/bin/%s" % name, uid=100)
+    site.run_until(lambda: handle.exited)
+    return out[0]
+
+
+def main():
+    site = MigrationSite(
+        costs=CostModel(migrate_listening_sockets=True),
+        daemons=False)
+    print("starting the port-%d server on brick" % PORT)
+    server = site.start("brick", "/bin/portserver", uid=100)
+    site.run_until(lambda: "serving" in site.console("brick"))
+
+    for i in range(1, 3):
+        reply = client(site, "schooner", "brick", "req%d" % i)
+        print("  request %d from schooner -> brick: %r" % (i, reply))
+
+    print("\nmigrating the server brick -> schooner "
+          "(dump records port %d)" % PORT)
+    site.dumpproc("brick", server.pid, uid=100)
+    moved = site.restart("schooner", server.pid, from_host="brick",
+                         uid=100)
+    print("  server resumed on schooner as pid %d, inside its "
+          "interrupted accept()" % moved.pid)
+
+    reply = client(site, "brador", "schooner", "req3")
+    print("  request 3 from brador -> schooner: %r" % reply)
+    reply = client(site, "brador", "brick", "req4")
+    print("  request 4 to the OLD host:          %r" % reply)
+
+    image = moved.proc.image.image
+    served = image.read_i32(image.data_base)
+    print("\nthe server's request counter (in its data segment): %d"
+          % served)
+    print("three requests served, across two machines, one socket "
+          "endpoint re-established.")
+
+
+if __name__ == "__main__":
+    main()

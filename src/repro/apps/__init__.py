@@ -1,0 +1,22 @@
+"""Applications built on the migration mechanism (section 8).
+
+* :mod:`repro.apps.checkpoint` — periodic process checkpointing with
+  open-file snapshots and restore-to-the-n-th-checkpoint;
+* :mod:`repro.apps.loadbalance` — a load balancer moving CPU-bound
+  jobs from busy machines to idle ones;
+* :mod:`repro.apps.nightbatch` — the day/night CPU-hog scheduler:
+  corral the hogs onto one machine during the day, spread them across
+  the idle network at night.
+
+All three drive the system exactly the way a user-level application
+would have: by running the ``dumpproc``/``restart`` commands and
+inspecting the process table via syscalls, never by reaching into
+kernel structures.
+"""
+
+from repro.apps.checkpoint import CheckpointManager
+from repro.apps.loadbalance import LoadBalancer, LoadBalancerPolicy
+from repro.apps.nightbatch import NightBatchScheduler
+
+__all__ = ["CheckpointManager", "LoadBalancer", "LoadBalancerPolicy",
+           "NightBatchScheduler"]

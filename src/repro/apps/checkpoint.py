@@ -1,0 +1,155 @@
+"""Process checkpointing (section 8, first application).
+
+"The ability of our system to create an image of a process at a
+random point in its execution and then restart it ... is exactly what
+we need to implement process checkpointing. ... we may write an
+application to take periodic snapshots of it and save those snapshots
+by moving them to a directory managed by the application (perhaps
+renaming them appropriately) which would then allow us to restart a
+program at its n-th checkpoint.  The application should also make
+copies of all files that were open when the process was checkpointed,
+so that if the actual files were modified after the checkpoint, the
+copies can be used instead."
+
+Because ``SIGDUMP`` terminates the process, one checkpoint is a
+dump-then-restart-in-place: the job pauses, its state lands on disk,
+and a fresh process continues from exactly that point (with a new
+pid, so checkpointed jobs must be pid-agnostic — section 7 applies).
+"""
+
+from repro.errors import UnixError
+from repro.core.formats import FilesInfo, dump_file_names
+
+
+class Checkpoint:
+    """One saved snapshot."""
+
+    def __init__(self, index, pid, host, directory):
+        self.index = index
+        self.pid = pid  #: pid at dump time (names the dump files)
+        self.host = host
+        self.directory = directory
+        #: original path -> saved copy path, for open data files
+        self.file_copies = {}
+
+    def saved_dump_names(self):
+        """Where the three dump files were moved to."""
+        return ("%s/ckpt%d.aout" % (self.directory, self.index),
+                "%s/ckpt%d.files" % (self.directory, self.index),
+                "%s/ckpt%d.stack" % (self.directory, self.index))
+
+    def __repr__(self):
+        return ("Checkpoint(#%d of pid %d on %s, %d file copies)"
+                % (self.index, self.pid, self.host,
+                   len(self.file_copies)))
+
+
+class CheckpointManager:
+    """Periodic snapshots of one process, with restore-to-n-th.
+
+    The manager plays the role of the user-level application the
+    paper sketches: it drives ``dumpproc``/``restart`` and moves files
+    around; the kernel mechanism is untouched.
+    """
+
+    def __init__(self, site, host, uid=100, directory="/ckpt"):
+        self.site = site
+        self.host = host
+        self.uid = uid
+        self.directory = directory
+        self.checkpoints = []
+        machine = site.machine(host)
+        root = machine.fs.makedirs(directory)
+        root.mode = 0o777
+
+    # -- path plumbing ------------------------------------------------------
+
+    def _machine(self):
+        return self.site.machine(self.host)
+
+    def _read(self, path):
+        """Read a file through the manager machine's namespace."""
+        resolved = self._machine().namespace.resolve(path)
+        return bytes(resolved.inode.data)
+
+    def _write(self, path, data, uid=None):
+        machine = self._machine()
+        resolved = machine.namespace.resolve(path, want_parent=True)
+        if resolved.inode is None:
+            inode = resolved.parent_fs.create(
+                resolved.parent, resolved.name, mode=0o644,
+                uid=uid if uid is not None else self.uid)
+        else:
+            inode = resolved.inode
+        inode.data[:] = data
+        return inode
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint(self, pid):
+        """Snapshot ``pid``: dump, archive, copy files, resume.
+
+        Returns ``(checkpoint, resumed_handle)`` — the process
+        continues under a new pid (``resumed_handle.pid``).
+        """
+        site = self.site
+        site.dumpproc(self.host, pid, uid=self.uid)
+        record = Checkpoint(len(self.checkpoints), pid, self.host,
+                            self.directory)
+
+        aout, files, stack = dump_file_names(pid)
+        saved = record.saved_dump_names()
+        machine = self._machine()
+        for source, target in zip((aout, files, stack), saved):
+            self._write(target, machine.fs.read_file(source))
+
+        # snapshot every open regular file recorded in the dump
+        info = FilesInfo.unpack(machine.fs.read_file(files))
+        seen = set()
+        for slot, entry in enumerate(info.entries):
+            if not entry.is_file() or entry.path in seen:
+                continue
+            seen.add(entry.path)
+            if entry.path.startswith("/dev/"):
+                continue
+            copy_path = "%s/ckpt%d.fd%d" % (self.directory,
+                                            record.index, slot)
+            try:
+                self._write(copy_path, self._read(entry.path))
+            except UnixError:
+                continue  # vanished or unreadable: nothing to save
+            record.file_copies[entry.path] = copy_path
+
+        self.checkpoints.append(record)
+        resumed = site.restart(self.host, pid, uid=self.uid)
+        return record, resumed
+
+    # -- restoring --------------------------------------------------------------
+
+    def restore(self, checkpoint, host=None, restore_files=True):
+        """Bring a checkpoint back to life (default: where it ran).
+
+        With ``restore_files`` the saved copies of the open files are
+        written back first, so the program sees a consistent world
+        even if the real files changed after the snapshot.
+        """
+        if isinstance(checkpoint, int):
+            checkpoint = self.checkpoints[checkpoint]
+        host = host or self.host
+        machine = self._machine()
+
+        if restore_files:
+            for original, copy_path in checkpoint.file_copies.items():
+                self._write(original, self._read(copy_path))
+
+        # stage the dump files back under the names restart expects
+        # (the a.out must stay executable, the rest stays private)
+        targets = dump_file_names(checkpoint.pid)
+        for index, (source, target) in enumerate(
+                zip(checkpoint.saved_dump_names(), targets)):
+            data = self._read(source)
+            inode = self._write(target, data, uid=self.uid)
+            inode.mode = 0o700 if index == 0 else 0o600
+            inode.uid = self.uid
+        return self.site.restart(host, checkpoint.pid,
+                                 from_host=self.host, uid=self.uid)

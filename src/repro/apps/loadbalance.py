@@ -1,0 +1,119 @@
+"""Load balancing with process migration (section 8).
+
+"CPU bound jobs can be moved from busy nodes of the network to others
+that are idle ... Candidates for migration can be best selected from
+the processes that have been running for more than a certain amount
+of time.  This will ensure that there is a high probability that the
+candidate program will keep running for some time, and that it is
+worth paying the overhead of moving it to another machine."
+
+The paper also notes that "the migrate application may be too slow in
+terms of real time response and a more efficient one would have to be
+written" — so the balancer drives ``dumpproc``/``restart`` directly on
+the machines involved (the shape a daemon-based implementation would
+have), not the rsh-based ``migrate``.
+"""
+
+
+class LoadBalancerPolicy:
+    """Tunable selection rules."""
+
+    def __init__(self, min_cpu_seconds=0.5, imbalance_threshold=2,
+                 max_moves_per_round=1):
+        #: candidates must have consumed at least this much CPU (the
+        #: paper's "running for more than a certain amount of time")
+        self.min_cpu_seconds = min_cpu_seconds
+        #: move only if busiest - idlest >= this many runnable jobs
+        self.imbalance_threshold = imbalance_threshold
+        self.max_moves_per_round = max_moves_per_round
+
+
+class Migration:
+    """A record of one balancing move."""
+
+    def __init__(self, pid, source, destination, new_proc):
+        self.pid = pid
+        self.source = source
+        self.destination = destination
+        self.new_proc = new_proc
+
+    def __repr__(self):
+        return ("Migration(pid %d: %s -> %s, now pid %d)"
+                % (self.pid, self.source, self.destination,
+                   self.new_proc.pid))
+
+
+class LoadBalancer:
+    """Even out runnable VM jobs across the cluster's workstations."""
+
+    def __init__(self, site, hosts, uid=100,
+                 policy=None):
+        self.site = site
+        self.hosts = list(hosts)
+        self.uid = uid
+        self.policy = policy or LoadBalancerPolicy()
+        self.history = []
+
+    # -- measurement --------------------------------------------------------
+
+    def load_of(self, host):
+        """Runnable/queued VM processes on ``host`` (the load metric)."""
+        kernel = self.site.machine(host).kernel
+        return sum(1 for p in kernel.procs.all_procs()
+                   if p.is_vm() and not p.zombie())
+
+    def loads(self):
+        return {host: self.load_of(host) for host in self.hosts}
+
+    def candidates(self, host):
+        """Migration-eligible jobs on ``host``, oldest CPU first."""
+        kernel = self.site.machine(host).kernel
+        jobs = [p for p in kernel.procs.all_procs()
+                if p.is_vm() and not p.zombie()
+                and p.cpu_us() / 1e6 >= self.policy.min_cpu_seconds]
+        return sorted(jobs, key=lambda p: -p.cpu_us())
+
+    # -- balancing ------------------------------------------------------------------
+
+    def step(self):
+        """One balancing round; returns the migrations performed."""
+        moves = []
+        for __ in range(self.policy.max_moves_per_round):
+            loads = self.loads()
+            busiest = max(self.hosts, key=lambda h: loads[h])
+            idlest = min(self.hosts, key=lambda h: loads[h])
+            if loads[busiest] - loads[idlest] < \
+                    self.policy.imbalance_threshold:
+                break
+            pool = self.candidates(busiest)
+            if not pool:
+                break
+            victim = pool[0]
+            moved = self.migrate(victim.pid, busiest, idlest)
+            if moved is None:
+                break
+            moves.append(moved)
+        self.history.extend(moves)
+        return moves
+
+    def migrate(self, pid, source, destination):
+        """dumpproc on ``source``, restart on ``destination``."""
+        from repro.core.api import CommandFailed
+        site = self.site
+        try:
+            site.dumpproc(source, pid, uid=self.uid)
+        except CommandFailed:
+            return None
+        handle = site.restart(destination, pid, from_host=source,
+                              uid=self.uid)
+        if handle.exited or not handle.proc.is_vm():
+            return None
+        return Migration(pid, source, destination, handle.proc)
+
+    def run(self, rounds, settle_us=2_000_000):
+        """Balance repeatedly, letting the cluster run in between."""
+        for __ in range(rounds):
+            self.step()
+            self.site.run(
+                until_us=self.site.cluster.wall_time_us() + settle_us)
+        return self.history

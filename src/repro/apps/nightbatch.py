@@ -1,0 +1,101 @@
+"""The day/night CPU-hog scheduler (section 8, last application).
+
+"These jobs can be run in one machine during the day (or not at
+all!), when users want to use the majority of the machines in the
+network.  At night, when the load on most machines is low, these jobs
+can be distributed evenly throughout the system, and thus make
+efficient use of the network resources."
+
+The scheduler owns a set of long-running batch jobs.  ``nightfall()``
+spreads them round-robin over every workstation; ``daybreak()``
+corrals them back onto the designated day machine.  Each move is a
+dump/restart, so a job's identity changes pid at every transition —
+the scheduler tracks jobs by handle, not pid.
+"""
+
+
+class BatchJob:
+    """One long-running CPU hog under the scheduler's care."""
+
+    _ids = iter(range(1, 1 << 20))
+
+    def __init__(self, proc, host):
+        self.job_id = next(BatchJob._ids)
+        self.proc = proc
+        self.host = host
+        self.moves = 0
+
+    @property
+    def alive(self):
+        return not self.proc.zombie()
+
+    def __repr__(self):
+        return ("BatchJob(#%d pid %d on %s, %d moves)"
+                % (self.job_id, self.proc.pid, self.host, self.moves))
+
+
+class NightBatchScheduler:
+    """Corral by day, spread by night."""
+
+    def __init__(self, site, day_host, night_hosts, uid=100):
+        self.site = site
+        self.day_host = day_host
+        self.night_hosts = list(night_hosts)
+        self.uid = uid
+        self.jobs = []
+        self.is_night = False
+
+    def submit(self, path, argv=None, cwd="/tmp"):
+        """Start a batch job on the day machine."""
+        handle = self.site.start(self.day_host, path, argv,
+                                 uid=self.uid, cwd=cwd)
+        job = BatchJob(handle.proc, self.day_host)
+        self.jobs.append(job)
+        return job
+
+    def _move(self, job, destination):
+        if job.host == destination or job.proc.zombie():
+            return False
+        site = self.site
+        from repro.core.api import CommandFailed
+        try:
+            site.dumpproc(job.host, job.proc.pid, uid=self.uid)
+        except CommandFailed:
+            return False
+        handle = site.restart(destination, job.proc.pid,
+                              from_host=job.host, uid=self.uid)
+        if handle.exited:
+            return False
+        job.proc = handle.proc
+        job.host = destination
+        job.moves += 1
+        return True
+
+    def live_jobs(self):
+        return [job for job in self.jobs if not job.proc.zombie()]
+
+    def nightfall(self):
+        """Spread the hogs evenly over the night machines."""
+        self.is_night = True
+        moved = 0
+        for index, job in enumerate(self.live_jobs()):
+            target = self.night_hosts[index % len(self.night_hosts)]
+            if self._move(job, target):
+                moved += 1
+        return moved
+
+    def daybreak(self):
+        """Bring every hog home to the day machine."""
+        self.is_night = False
+        moved = 0
+        for job in self.live_jobs():
+            if self._move(job, self.day_host):
+                moved += 1
+        return moved
+
+    def placement(self):
+        """host -> number of live jobs there."""
+        out = {}
+        for job in self.live_jobs():
+            out[job.host] = out.get(job.host, 0) + 1
+        return out

@@ -1,0 +1,22 @@
+"""Measurement drivers for the paper's evaluation (section 6).
+
+Each ``figN()`` function in :mod:`repro.bench.figures` rebuilds the
+testbed, runs the paper's workload, and returns measured virtual-time
+results together with the values the paper reports, so the benchmark
+suite and EXPERIMENTS.md are generated from one source of truth.
+"""
+
+from repro.bench.figures import (fig1, fig2, fig3, fig4,
+                                 ablation_daemon_vs_rsh,
+                                 ablation_polling_interval,
+                                 ablation_name_storage,
+                                 ablation_namei_cache,
+                                 app_load_balancing,
+                                 ext_compat_ids,
+                                 ext_socket_migration)
+
+__all__ = ["fig1", "fig2", "fig3", "fig4",
+           "ablation_daemon_vs_rsh", "ablation_polling_interval",
+           "ablation_name_storage", "ablation_namei_cache",
+           "app_load_balancing", "ext_compat_ids",
+           "ext_socket_migration"]

@@ -1,0 +1,67 @@
+"""Virtual clocks for the machine simulation.
+
+Each simulated machine owns a :class:`Clock`; all clocks in a cluster
+start at zero and conceptually run in parallel.  The cluster driver
+always steps the machine whose clock lags furthest behind, which keeps
+cross-machine event delivery causal (conservative parallel discrete
+event simulation).
+
+Times are floats in virtual microseconds.
+"""
+
+US_PER_MS = 1000.0
+US_PER_SEC = 1_000_000.0
+
+
+def fmt_us(us):
+    """Human-friendly rendering of a microsecond quantity."""
+    if us >= US_PER_SEC:
+        return "%.3f s" % (us / US_PER_SEC)
+    if us >= US_PER_MS:
+        return "%.2f ms" % (us / US_PER_MS)
+    return "%.1f us" % us
+
+
+class Clock:
+    """A monotonically advancing virtual clock."""
+
+    def __init__(self, start_us=0.0):
+        self.now_us = float(start_us)
+
+    def advance(self, delta_us):
+        """Advance by a non-negative amount and return the new time."""
+        if delta_us < 0:
+            raise ValueError("clock cannot run backwards: %r" % delta_us)
+        self.now_us += delta_us
+        return self.now_us
+
+    def advance_to(self, when_us):
+        """Jump forward to ``when_us`` if it is in the future."""
+        if when_us > self.now_us:
+            self.now_us = when_us
+        return self.now_us
+
+    def seconds(self):
+        """Current time in virtual seconds."""
+        return self.now_us / US_PER_SEC
+
+    def __repr__(self):
+        return "Clock(%s)" % fmt_us(self.now_us)
+
+
+class Stopwatch:
+    """Measures an interval of virtual time against a clock."""
+
+    def __init__(self, clock):
+        self._clock = clock
+        self.start_us = clock.now_us
+        self.stop_us = None
+
+    def stop(self):
+        self.stop_us = self._clock.now_us
+        return self.elapsed_us
+
+    @property
+    def elapsed_us(self):
+        end = self.stop_us if self.stop_us is not None else self._clock.now_us
+        return end - self.start_us

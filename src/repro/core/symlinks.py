@@ -1,0 +1,50 @@
+"""User-level symbolic-link resolution, as prescribed by the paper.
+
+"The way to solve this problem is to resolve symbolic links before
+files are reopened.  The Sun 3.0 operating system provides the
+readlink() system call, which can be used iteratively to resolve all
+symbolic links in a pathname."
+
+:func:`resolve_symlinks_syscalls` is a native-program sub-coroutine
+(used with ``yield from`` inside ``dumpproc``) that walks a path one
+component at a time, ``lstat``-ing each prefix and splicing in
+``readlink()`` results.  It performs *only* system calls — no peeking
+at kernel structures — because this logic lives in a user program.
+"""
+
+from repro.errors import iserr, ELOOP
+from repro.fs.inode import IFLNK
+from repro.fs.paths import is_absolute, normalize, split_components
+
+MAXSYMLINKS = 8
+
+
+def resolve_symlinks_syscalls(path):
+    """yield-from: fully expanded path string, or ``-errno``.
+
+    Missing trailing components are tolerated (a dumped process may
+    hold an open-but-since-unlinked file; the name is still recorded
+    verbatim so restart's fallback-to-/dev/null logic can decide).
+    """
+    if not is_absolute(path):
+        return -ELOOP  # the dump only ever contains absolute names
+    pending = split_components(normalize(path))
+    resolved = "/"
+    expansions = 0
+    while pending:
+        component = pending.pop(0)
+        candidate = resolved.rstrip("/") + "/" + component
+        stat = yield ("lstat", candidate)
+        if not iserr(stat) and stat.itype == IFLNK:
+            expansions += 1
+            if expansions > MAXSYMLINKS:
+                return -ELOOP
+            target = yield ("readlink", candidate)
+            if iserr(target):
+                return target
+            if is_absolute(target):
+                resolved = "/"
+            pending = split_components(target) + pending
+            continue
+        resolved = normalize(candidate)
+    return resolved

@@ -1,0 +1,130 @@
+"""Unix error numbers and the kernel-internal error exception.
+
+The simulated kernel signals failures the way a real Unix kernel does:
+system call implementations raise :class:`UnixError` carrying an errno,
+and the syscall dispatch layer converts that into the user-visible
+``-1 / errno`` convention (or a negative return value for native
+programs).  The errno values follow 4.2BSD numbering.
+"""
+
+EPERM = 1  # Not owner
+ENOENT = 2  # No such file or directory
+ESRCH = 3  # No such process
+EINTR = 4  # Interrupted system call
+EIO = 5  # I/O error
+ENXIO = 6  # No such device or address
+E2BIG = 7  # Arg list too long
+ENOEXEC = 8  # Exec format error
+EBADF = 9  # Bad file number
+ECHILD = 10  # No children
+EAGAIN = 11  # No more processes
+ENOMEM = 12  # Not enough core
+EACCES = 13  # Permission denied
+EFAULT = 14  # Bad address
+ENOTBLK = 15  # Block device required
+EBUSY = 16  # Device busy
+EEXIST = 17  # File exists
+EXDEV = 18  # Cross-device link
+ENODEV = 19  # No such device
+ENOTDIR = 20  # Not a directory
+EISDIR = 21  # Is a directory
+EINVAL = 22  # Invalid argument
+ENFILE = 23  # File table overflow
+EMFILE = 24  # Too many open files
+ENOTTY = 25  # Not a typewriter
+ETXTBSY = 26  # Text file busy
+EFBIG = 27  # File too large
+ENOSPC = 28  # No space left on device
+ESPIPE = 29  # Illegal seek
+EROFS = 30  # Read-only file system
+EMLINK = 31  # Too many links
+EPIPE = 32  # Broken pipe
+EDOM = 33  # Argument too large
+ERANGE = 34  # Result too large
+EWOULDBLOCK = 35  # Operation would block
+ENAMETOOLONG = 63  # File name too long
+ELOOP = 62  # Too many levels of symbolic links
+ENOTEMPTY = 66  # Directory not empty
+ENOTSOCK = 38  # Socket operation on non-socket
+EADDRINUSE = 48  # Address already in use
+ECONNREFUSED = 61  # Connection refused
+ENOTCONN = 57  # Socket is not connected
+ECONNRESET = 54  # Connection reset by peer
+
+_NAMES = {
+    value: name
+    for name, value in sorted(globals().items())
+    if name.startswith("E") and isinstance(value, int)
+}
+
+_MESSAGES = {
+    EPERM: "Not owner",
+    ENOENT: "No such file or directory",
+    ESRCH: "No such process",
+    EINTR: "Interrupted system call",
+    EIO: "I/O error",
+    ENOEXEC: "Exec format error",
+    EBADF: "Bad file number",
+    ECHILD: "No children",
+    EAGAIN: "No more processes",
+    ENOMEM: "Not enough core",
+    EACCES: "Permission denied",
+    EEXIST: "File exists",
+    ENODEV: "No such device",
+    ENOTDIR: "Not a directory",
+    EISDIR: "Is a directory",
+    EINVAL: "Invalid argument",
+    ENFILE: "File table overflow",
+    EMFILE: "Too many open files",
+    ENOTTY: "Not a typewriter",
+    EFBIG: "File too large",
+    ENOSPC: "No space left on device",
+    ESPIPE: "Illegal seek",
+    EPIPE: "Broken pipe",
+    EWOULDBLOCK: "Operation would block",
+    ENAMETOOLONG: "File name too long",
+    ELOOP: "Too many levels of symbolic links",
+    ENOTEMPTY: "Directory not empty",
+    ENOTSOCK: "Socket operation on non-socket",
+    EADDRINUSE: "Address already in use",
+    ECONNREFUSED: "Connection refused",
+    ENOTCONN: "Socket is not connected",
+    ECONNRESET: "Connection reset by peer",
+    EFAULT: "Bad address",
+    ESRCH: "No such process",
+}
+
+
+def errno_name(errno):
+    """Return the symbolic name (``"ENOENT"``) for an errno value."""
+    return _NAMES.get(errno, "E?%d" % errno)
+
+
+def strerror(errno):
+    """Return the classic description string for an errno value."""
+    return _MESSAGES.get(errno, "Unknown error %d" % errno)
+
+
+class UnixError(Exception):
+    """A failed kernel operation, carrying a Unix errno.
+
+    Raised inside kernel code; the syscall boundary translates it into
+    the error-return convention of the calling process type.
+    """
+
+    def __init__(self, errno, context=""):
+        self.errno = errno
+        self.context = context
+        message = "[%s] %s" % (errno_name(errno), strerror(errno))
+        if context:
+            message += ": " + context
+        super().__init__(message)
+
+
+def iserr(value):
+    """True if a native-program syscall return value encodes an error.
+
+    Native (Python-coded) user programs receive ``-errno`` as an int on
+    failure; successful calls return non-negative ints, bytes or tuples.
+    """
+    return isinstance(value, int) and value < 0

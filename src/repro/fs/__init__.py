@@ -1,0 +1,22 @@
+"""The filesystem substrate.
+
+Provides a per-machine inode filesystem (:mod:`repro.fs.filesystem`),
+lexical path utilities matching how the modified kernel combines names
+(:mod:`repro.fs.paths`), and client-side path resolution with
+NFS-style ``/n/<host>`` remote roots and symbolic links
+(:mod:`repro.fs.namei`).
+"""
+
+from repro.fs.paths import (normalize, joinpath, split_components,
+                            dirname, basename, is_absolute)
+from repro.fs.inode import (Inode, IFREG, IFDIR, IFLNK, IFCHR, Stat,
+                            type_name)
+from repro.fs.filesystem import FileSystem
+from repro.fs.namei import Namespace, ResolvedPath
+
+__all__ = [
+    "normalize", "joinpath", "split_components", "dirname", "basename",
+    "is_absolute",
+    "Inode", "IFREG", "IFDIR", "IFLNK", "IFCHR", "Stat", "type_name",
+    "FileSystem", "Namespace", "ResolvedPath",
+]

@@ -1,0 +1,146 @@
+"""Inodes: the on-disk representation of files.
+
+As the paper observes, the unmodified kernel "keeps information about
+where the file is located physically on disk, in a structure called an
+inode" — names are not recoverable from it.  Our inodes are the same:
+they carry type, permissions, ownership and contents, but no name.
+The name-tracking fields the paper adds live in the *file table* and
+*user structure* (:mod:`repro.kernel.filetable`,
+:mod:`repro.kernel.user`), not here.
+"""
+
+import itertools
+
+IFREG = 0o100000  #: regular file
+IFDIR = 0o040000  #: directory
+IFLNK = 0o120000  #: symbolic link
+IFCHR = 0o020000  #: character device
+
+_TYPE_NAMES = {IFREG: "file", IFDIR: "directory", IFLNK: "symlink",
+               IFCHR: "device"}
+
+
+def type_name(itype):
+    return _TYPE_NAMES.get(itype, "?")
+
+
+class Stat:
+    """The result of ``stat()``/``fstat()``."""
+
+    __slots__ = ("ino", "itype", "mode", "uid", "gid", "size", "nlink",
+                 "dev", "rdev")
+
+    def __init__(self, ino, itype, mode, uid, gid, size, nlink, dev,
+                 rdev=None):
+        self.ino = ino
+        self.itype = itype
+        self.mode = mode
+        self.uid = uid
+        self.gid = gid
+        self.size = size
+        self.nlink = nlink
+        self.dev = dev
+        self.rdev = rdev  #: character-device name for IFCHR inodes
+
+    def is_terminal(self):
+        """True for a terminal device (any character device but null)."""
+        return self.itype == IFCHR and self.rdev != "null"
+
+    def is_dir(self):
+        return self.itype == IFDIR
+
+    def is_reg(self):
+        return self.itype == IFREG
+
+    def is_chr(self):
+        return self.itype == IFCHR
+
+    def __repr__(self):
+        return ("Stat(ino=%d %s mode=%o uid=%d size=%d)"
+                % (self.ino, type_name(self.itype), self.mode, self.uid,
+                   self.size))
+
+
+class Inode:
+    """One inode.  Directory entries map names to child inodes."""
+
+    _counter = itertools.count(2)
+
+    def __init__(self, itype, mode=0o644, uid=0, gid=0):
+        self.ino = next(Inode._counter)
+        self.itype = itype
+        self.mode = mode
+        self.uid = uid
+        self.gid = gid
+        self.nlink = 1
+        self.parent = None  #: containing directory (for ``..``)
+        if itype == IFREG:
+            self.data = bytearray()
+        elif itype == IFDIR:
+            self.entries = {}
+        elif itype == IFLNK:
+            self.target = ""
+        elif itype == IFCHR:
+            self.device = None  #: device name, e.g. "null" or "tty"
+        else:
+            raise ValueError("bad inode type %o" % itype)
+
+    @property
+    def size(self):
+        if self.itype == IFREG:
+            return len(self.data)
+        if self.itype == IFLNK:
+            return len(self.target)
+        if self.itype == IFDIR:
+            return len(self.entries)
+        return 0
+
+    def is_dir(self):
+        return self.itype == IFDIR
+
+    def is_reg(self):
+        return self.itype == IFREG
+
+    def is_link(self):
+        return self.itype == IFLNK
+
+    def is_chr(self):
+        return self.itype == IFCHR
+
+    def stat(self, dev=0):
+        rdev = self.device if self.itype == IFCHR else None
+        return Stat(self.ino, self.itype, self.mode, self.uid, self.gid,
+                    self.size, self.nlink, dev, rdev)
+
+    def check_access(self, cred, want_read=False, want_write=False,
+                     want_exec=False):
+        """Unix owner/group/other permission check.
+
+        Returns True if the credentials allow the requested access.
+        The superuser (uid 0) passes everything except exec of a file
+        with no exec bits at all.
+        """
+        if cred is None:
+            return True
+        if cred.euid == 0:
+            if want_exec and not (self.mode & 0o111) \
+                    and self.itype == IFREG:
+                return False
+            return True
+        if cred.euid == self.uid:
+            shift = 6
+        elif cred.egid == self.gid:
+            shift = 3
+        else:
+            shift = 0
+        bits = (self.mode >> shift) & 0o7
+        if want_read and not bits & 0o4:
+            return False
+        if want_write and not bits & 0o2:
+            return False
+        if want_exec and not bits & 0o1:
+            return False
+        return True
+
+    def __repr__(self):
+        return "Inode(%d, %s)" % (self.ino, type_name(self.itype))

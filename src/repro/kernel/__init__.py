@@ -1,0 +1,33 @@
+"""The simulated Unix kernel.
+
+See :mod:`repro.kernel.kernel` for the overall structure.  The paper's
+additions are spread exactly as in the original: the name-tracking
+modifications in :mod:`repro.kernel.sys_file`
+(``open``/``creat``/``close``/``chdir``), the ``SIGDUMP`` machinery in
+:mod:`repro.kernel.signals` and :mod:`repro.kernel.dump`, and the
+``rest_proc()`` call in :mod:`repro.kernel.restproc` built on the
+modified ``execve()`` of :mod:`repro.kernel.exec_`.
+"""
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.flow import WouldBlock, ProcessOverlaid, NULL_DEVICE
+from repro.kernel.constants import (NOFILE, MAXCWD, O_RDONLY, O_WRONLY,
+                                    O_RDWR, O_APPEND, O_CREAT, O_TRUNC,
+                                    O_EXCL, SEEK_SET, SEEK_CUR,
+                                    SEEK_END, TIOCGETP, TIOCSETP,
+                                    TF_ECHO, TF_RAW, TF_CBREAK,
+                                    TF_CRMOD, DUMPDIR)
+from repro.kernel.cred import Credentials
+from repro.kernel.tty import Terminal
+from repro.kernel import signals
+from repro.kernel.signals import SIGDUMP, SIGQUIT, SIGKILL, SIGTERM
+from repro.kernel.syscalls import NR
+
+__all__ = [
+    "Kernel", "WouldBlock", "ProcessOverlaid", "NULL_DEVICE",
+    "NOFILE", "MAXCWD", "O_RDONLY", "O_WRONLY", "O_RDWR", "O_APPEND",
+    "O_CREAT", "O_TRUNC", "O_EXCL", "SEEK_SET", "SEEK_CUR", "SEEK_END",
+    "TIOCGETP", "TIOCSETP", "TF_ECHO", "TF_RAW", "TF_CBREAK",
+    "TF_CRMOD", "DUMPDIR", "Credentials", "Terminal", "signals",
+    "SIGDUMP", "SIGQUIT", "SIGKILL", "SIGTERM", "NR",
+]

@@ -1,0 +1,64 @@
+"""Kernel constants: limits, open flags, seek modes, ioctls, tty flags."""
+
+#: per-process open file limit (the "fixed size" open file table whose
+#: every entry the filesXXXXX dump records)
+NOFILE = 20
+
+#: maximum length of the cwd name kept in the user structure ("a
+#: character string of fixed size was added to this structure")
+MAXCWD = 128
+
+#: maximum path length accepted by system calls
+MAXPATH = 1024
+
+# -- open(2) flags ------------------------------------------------------
+O_RDONLY = 0
+O_WRONLY = 1
+O_RDWR = 2
+O_ACCMODE = 3
+O_APPEND = 0o10
+O_CREAT = 0o1000
+O_TRUNC = 0o2000
+O_EXCL = 0o4000
+
+
+def open_mode_readable(flags):
+    return (flags & O_ACCMODE) in (O_RDONLY, O_RDWR)
+
+
+def open_mode_writable(flags):
+    return (flags & O_ACCMODE) in (O_WRONLY, O_RDWR)
+
+
+# -- lseek(2) -----------------------------------------------------------
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+# -- ioctl(2) requests ---------------------------------------------------
+TIOCGETP = 0x7408  #: get sgtty parameters
+TIOCSETP = 0x7409  #: set sgtty parameters
+
+# -- sgtty mode flags (the "terminal flags" of the filesXXXXX file) -------
+TF_ECHO = 0o10  #: echo input characters
+TF_RAW = 0o40  #: raw mode: deliver characters as typed, no processing
+TF_CBREAK = 0o2  #: cbreak: per-character input, but with processing
+TF_CRMOD = 0o20  #: map CR to NL on input, NL to CR-NL on output
+
+#: the modes a freshly opened terminal has
+TTY_DEFAULT_FLAGS = TF_ECHO | TF_CRMOD
+
+# -- process states ------------------------------------------------------
+SRUN = 1  #: runnable
+SSLEEP = 2  #: sleeping on a wait channel
+SSTOP = 3  #: stopped by a signal
+SZOMB = 4  #: exited, awaiting wait()
+
+STATE_NAMES = {SRUN: "R", SSLEEP: "S", SSTOP: "T", SZOMB: "Z"}
+
+#: where SIGDUMP places its three files
+DUMPDIR = "/usr/tmp"
+
+#: magic numbers of the dump files ("arbitrarily set" in the paper)
+FILES_MAGIC = 0o445
+STACK_MAGIC = 0o444

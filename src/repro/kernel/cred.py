@@ -1,0 +1,48 @@
+"""User credentials, as dumped into the stackXXXXX file."""
+
+import struct
+
+_FORMAT = struct.Struct("<iiii")
+
+PACKED_SIZE = _FORMAT.size
+
+
+class Credentials:
+    """Real and effective user and group ids."""
+
+    __slots__ = ("uid", "gid", "euid", "egid")
+
+    def __init__(self, uid=0, gid=0, euid=None, egid=None):
+        self.uid = uid
+        self.gid = gid
+        self.euid = uid if euid is None else euid
+        self.egid = gid if egid is None else egid
+
+    def is_superuser(self):
+        return self.euid == 0
+
+    def can_signal(self, other):
+        """The kill() permission rule: superuser, or matching uids."""
+        return (self.is_superuser() or self.uid == other.uid
+                or self.euid == other.euid or self.euid == other.uid)
+
+    def copy(self):
+        return Credentials(self.uid, self.gid, self.euid, self.egid)
+
+    def pack(self):
+        return _FORMAT.pack(self.uid, self.gid, self.euid, self.egid)
+
+    @classmethod
+    def unpack(cls, blob, offset=0):
+        uid, gid, euid, egid = _FORMAT.unpack_from(blob, offset)
+        return cls(uid, gid, euid, egid)
+
+    def __eq__(self, other):
+        if not isinstance(other, Credentials):
+            return NotImplemented
+        return (self.uid, self.gid, self.euid, self.egid) == \
+            (other.uid, other.gid, other.euid, other.egid)
+
+    def __repr__(self):
+        return ("Credentials(uid=%d gid=%d euid=%d egid=%d)"
+                % (self.uid, self.gid, self.euid, self.egid))

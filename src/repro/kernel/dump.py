@@ -1,0 +1,140 @@
+"""The ``SIGDUMP`` dump writer (and the ``SIGQUIT`` core writer).
+
+"Implementing the SIGDUMP signal is simply a matter of dumping the
+appropriate data from the kernel structures onto disk.  The code is
+similar to that of ... SIGQUIT, which causes a process to terminate
+dumping a subset of the information we dump for our new signal."
+
+The dump runs in the context of the process being dumped — it is the
+*victim* that spends the CPU and I/O time writing the three files,
+which is why ``dumpproc`` must wait (sleeping a second at a time) for
+``a.outXXXXX`` to appear: "it has to wait until the kernel switches
+its context to that of the process being dumped".
+"""
+
+from repro.errors import UnixError
+from repro.fs.paths import joinpath
+from repro.kernel.constants import DUMPDIR, NOFILE
+from repro.kernel.filetable import FPIPE, FSOCKET
+from repro.vm.aout import build_aout
+
+
+class DumpSupport:
+    """Mixin: process dumping (self is the Kernel)."""
+
+    def dump_process(self, proc):
+        """Write the three restart files for ``proc``.
+
+        Returns True on success.  Native system programs have no
+        machine image to dump; for them the signal degenerates to a
+        plain terminate (and dumpproc will time out waiting for the
+        a.out file), which is logged.
+        """
+        from repro.core.formats import dump_file_names
+        if not proc.is_vm():
+            self.log("SIGDUMP: pid %d (%s) is not dumpable"
+                     % (proc.pid, proc.command))
+            return False
+        image = proc.image.image
+        aout_path, files_path, stack_path = dump_file_names(proc.pid)
+
+        try:
+            aout_blob = self._build_aout_dump(image)
+            files_blob = self._build_files_info(proc).pack()
+            stack_blob = self._build_stack_info(proc).pack()
+            # formatting kernel structures into each file costs CPU
+            self.charge(3 * self.costs.dump_pack_us, proc=proc)
+            self.kwrite_file(proc, aout_path, aout_blob, mode=0o700)
+            self.kwrite_file(proc, files_path, files_blob, mode=0o600)
+            self.kwrite_file(proc, stack_path, stack_blob, mode=0o600)
+        except UnixError as err:
+            self.log("SIGDUMP: dump of pid %d failed: %s"
+                     % (proc.pid, err))
+            return False
+        proc.dumped = True
+        self.log("SIGDUMP: pid %d dumped to %s/{a.out,files,stack}%d"
+                 % (proc.pid, DUMPDIR, proc.pid))
+        return True
+
+    def _build_aout_dump(self, image):
+        """An executable from the live text and data segments.
+
+        The result "can be executed as an ordinary program ... similar
+        to running the original program from the beginning, except
+        that all static variables will be initialised to the values
+        that they had when the process was killed" — the free undump
+        utility.  The entry point is therefore the *original* one.
+        """
+        text = image.text_bytes()
+        data = image.data_bytes()
+        self.charge(self.costs.copy_byte_us * (len(text) + len(data)))
+        return build_aout(image.machine_id, text, data, bss_size=0,
+                          entry=image.entry,
+                          text_base=image.text_base)
+
+    def _build_files_info(self, proc):
+        from repro.core.formats import (FdEntry, FilesInfo, FD_FILE,
+                                        FD_SOCKET, FD_SOCKET_BOUND,
+                                        FD_UNUSED)
+        entries = []
+        for fd in range(NOFILE):
+            open_file = proc.user.ofile[fd]
+            if open_file is None:
+                entries.append(FdEntry(FD_UNUSED))
+            elif open_file.ftype in (FSOCKET, FPIPE):
+                sock = open_file.socket
+                if (self.costs.migrate_listening_sockets
+                        and sock is not None
+                        and sock.bound_port is not None):
+                    # section 9 extension: a service endpoint can be
+                    # re-established on the destination
+                    entries.append(FdEntry(
+                        FD_SOCKET_BOUND, port=sock.bound_port,
+                        listening=sock.listening))
+                else:
+                    # "no extra information is kept in the case of a
+                    # socket"
+                    entries.append(FdEntry(FD_SOCKET))
+            else:
+                entries.append(FdEntry(FD_FILE,
+                                       path=open_file.name or "",
+                                       flags=open_file.flags,
+                                       offset=open_file.offset))
+        tty = proc.user.tty
+        tty_flags = tty.get_flags() if tty is not None \
+            and hasattr(tty, "get_flags") else 0
+        return FilesInfo(hostname=self.hostname,
+                         cwd=proc.user.cwd_name or "/",
+                         entries=entries, tty_flags=tty_flags)
+
+    def _build_stack_info(self, proc):
+        from repro.core.formats import StackInfo
+        image = proc.image.image
+        stack = image.stack_bytes()
+        self.charge(self.costs.copy_byte_us * len(stack))
+        return StackInfo(cred=proc.user.cred.copy(), stack=stack,
+                         registers=image.regs.copy(),
+                         sigstate=proc.user.sig.copy())
+
+    # -- SIGQUIT-style core dumps (the baseline of Figure 2) --------------------
+
+    #: stand-in for the u-area pages at the front of a 4.2BSD core
+    CORE_HEADER_SIZE = 1024
+
+    def write_core(self, proc):
+        """Write a classic ``core`` file in the current directory."""
+        if not proc.is_vm():
+            return False
+        image = proc.image.image
+        data = image.data_bytes()
+        stack = image.stack_bytes()
+        blob = (b"\x00" * self.CORE_HEADER_SIZE) + data + stack
+        self.charge(self.costs.copy_byte_us * len(blob))
+        core_path = joinpath(proc.user.cwd_name or "/", "core")
+        try:
+            self.kwrite_file(proc, core_path, blob, mode=0o600)
+        except UnixError as err:
+            self.log("core dump of pid %d failed: %s" % (proc.pid, err))
+            return False
+        self.log("pid %d dumped core (%d bytes)" % (proc.pid, len(blob)))
+        return True

@@ -1,0 +1,113 @@
+"""The system open-file table.
+
+Each :class:`File` is one entry: an inode reference, the open flags,
+the current offset and a reference count (shared across ``fork()`` and
+``dup()``, exactly like real Unix file structures).
+
+**The paper's modification lives here**: every file structure is
+"augmented with a pointer to a dynamically allocated character string
+containing the absolute path name of the file to which it refers",
+filled in by ``open()``/``creat()`` and freed by ``close()``.  The
+allocator hook is how the Figure 1 overhead is charged, and the
+ablation A3 (dynamic vs. fixed-size name storage) reads the
+bookkeeping this module keeps.
+"""
+
+from repro.errors import UnixError, ENFILE
+
+FFILE = 1  #: regular file or device
+FSOCKET = 2  #: socket (not migratable)
+FPIPE = 3  #: pipe (not migratable; dumped as a socket entry)
+
+PIPE_CAPACITY = 4096
+
+
+class PipeBuffer:
+    """The shared buffer behind a pipe's two ends."""
+
+    def __init__(self):
+        self.data = bytearray()
+        self.readers = 0
+        self.writers = 0
+
+    def space(self):
+        return PIPE_CAPACITY - len(self.data)
+
+
+class File:
+    """One system file-table entry."""
+
+    def __init__(self, ftype=FFILE):
+        self.ftype = ftype
+        self.fs = None  #: FileSystem owning the inode
+        self.inode = None
+        self.flags = 0
+        self.offset = 0
+        self.refcount = 1
+        #: the paper's addition: the absolute path name, or None.  In
+        #: the simulated kernel the pointer is "null" when name
+        #: tracking is disabled (the unmodified-kernel baseline) or
+        #: before open() fills it in.
+        self.name = None
+        self.socket = None  #: net-layer socket state for FSOCKET
+        self.pipe = None  #: (PipeBuffer, "r"|"w") for FPIPE
+
+    def is_device(self):
+        return self.inode is not None and self.inode.is_chr()
+
+    def __repr__(self):
+        kind = {FFILE: "file", FSOCKET: "socket", FPIPE: "pipe"}[self.ftype]
+        return "File(%s, name=%r, offset=%d)" % (kind, self.name,
+                                                 self.offset)
+
+
+class FileTable:
+    """Per-machine table of open file structures."""
+
+    #: system-wide open file limit
+    NFILE = 200
+
+    def __init__(self):
+        self.entries = []
+        #: bytes of kernel memory currently held by name strings
+        #: (ablation A3 bookkeeping)
+        self.name_bytes = 0
+        self.name_allocs = 0
+        self.name_frees = 0
+
+    def alloc(self, ftype=FFILE):
+        """Allocate a file structure.
+
+        The allocator "has been changed to initialise this pointer to
+        a null value" — :class:`File` does that in its constructor.
+        """
+        live = [f for f in self.entries if f.refcount > 0]
+        if len(live) >= self.NFILE:
+            raise UnixError(ENFILE)
+        entry = File(ftype)
+        self.entries.append(entry)
+        return entry
+
+    def set_name(self, entry, name):
+        """Attach a dynamically-allocated name string to an entry."""
+        if entry.name is not None:
+            self.name_bytes -= len(entry.name) + 1
+        entry.name = name
+        self.name_bytes += len(name) + 1
+        self.name_allocs += 1
+
+    def release(self, entry):
+        """Drop one reference; frees the name when the last goes."""
+        entry.refcount -= 1
+        if entry.refcount > 0:
+            return False
+        if entry.name is not None:
+            self.name_bytes -= len(entry.name) + 1
+            self.name_frees += 1
+            entry.name = None
+        if entry in self.entries:
+            self.entries.remove(entry)
+        return True
+
+    def live_count(self):
+        return len(self.entries)

@@ -1,0 +1,38 @@
+"""Kernel control-flow exceptions and trivial devices.
+
+Shared by every syscall module; see :mod:`repro.kernel.kernel` for the
+full story of how :class:`WouldBlock` and :class:`ProcessOverlaid`
+thread through dispatch.
+"""
+
+
+class WouldBlock(Exception):
+    """A syscall must sleep; it is retried in full after wakeup."""
+
+    def __init__(self, channel, wake_at_us=None):
+        super().__init__("would block on %r" % (channel,))
+        self.channel = channel
+        self.wake_at_us = wake_at_us
+
+
+class ProcessOverlaid(Exception):
+    """exec/rest_proc succeeded; the calling image is gone."""
+
+
+class NullDevice:
+    """``/dev/null``: reads see EOF, writes vanish."""
+
+    @staticmethod
+    def read(nbytes):
+        return b""
+
+    @staticmethod
+    def write(data):
+        return len(data)
+
+    @staticmethod
+    def isatty():
+        return False
+
+
+NULL_DEVICE = NullDevice()

@@ -1,0 +1,97 @@
+"""The new ``rest_proc()`` system call.
+
+Section 5.2's recipe, implemented step for step:
+
+1. open the ``stackXXXXX`` file, checking access permissions and the
+   magic number;
+2. read the user credentials and the stack size;
+3. set the global migration flag and the stack-size variable;
+4. call ``execve()`` on the ``a.outXXXXX`` file with a null
+   environment (the old environment lives in the dumped stack);
+5. reset the flag so later execs behave normally;
+6. establish the credentials read in step 2 (the *old* credentials
+   were used for the exec permission check, so only the owner or the
+   superuser can do this);
+7. read in the stack contents and the registers;
+8. read and establish the signal dispositions;
+9. return — "at this point, the process running is a copy of the old
+   process".
+
+One defensive deviation: the stack file is parsed and validated in
+full *before* the exec, because once the caller has been overlaid
+there is nothing to return an error to.  The paper's kernel had the
+same constraint implicitly (a truncated stack file after exec would
+have been unrecoverable).
+"""
+
+from repro.errors import UnixError, EINVAL, ENOMEM
+from repro.kernel.flow import ProcessOverlaid
+
+
+class RestProcSupport:
+    """Mixin: the rest_proc() system call (self is the Kernel)."""
+
+    def sys_rest_proc(self, proc, aout_path, stack_path):
+        """Overlay ``proc`` with the dumped process.
+
+        On success raises :class:`ProcessOverlaid`; "normally, there
+        is no return from this system call".  If it *does* return (an
+        exception carrying an errno), "either the system didn't have
+        enough resources ... or something was wrong with the two
+        files".
+        """
+        from repro.core.formats import StackInfo
+        real0 = self.clock.now_us
+        cpu0 = proc.cpu_us()
+
+        # steps 1-2: open + verify + read credentials and stack size.
+        # (kread_file performs the access check with the caller's
+        # current credentials.)
+        blob = self.kread_file(proc, stack_path)
+        try:
+            info = StackInfo.unpack(blob)
+        except UnixError as err:
+            raise UnixError(EINVAL, "stackXXXXX: %s" % err.context)
+
+        # step 3: the global flag and the stack-size variable
+        self.migrating = True
+        self.migrate_stack_size = info.stack_size
+        overlaid = False
+        try:
+            # step 4: exec the a.out with a null environment
+            try:
+                self.sys_execve(proc, aout_path, [aout_path], None)
+            except ProcessOverlaid:
+                overlaid = True
+        finally:
+            # step 5: "so that further calls to execve() will work"
+            self.migrating = False
+            self.migrate_stack_size = 0
+        if not overlaid:  # pragma: no cover - execve raises or errors
+            raise UnixError(EINVAL, "exec did not complete")
+
+        image = proc.image.image
+        if image.stack_top - info.stack_size <= image.brk:
+            # should have been caught by exec's allocation check
+            self.do_exit(proc, status=1)
+            raise UnixError(ENOMEM, "restored stack collides with data")
+
+        # step 6: establish the old credentials
+        proc.user.cred = info.cred.copy()
+
+        # step 7: stack contents and registers
+        image.restore_stack(info.stack)
+        self.charge(self.costs.copy_byte_us * info.stack_size)
+        image.regs.load_from(info.registers)
+
+        # step 8: signal dispositions
+        sigstate = info.sigstate.copy()
+        sigstate.pending = set()
+        proc.user.sig = sigstate
+
+        self.record_timing("rest_proc", self.clock.now_us - real0,
+                           proc.cpu_us() - cpu0)
+        self.log("rest_proc: pid %d resumed at pc=0x%x"
+                 % (proc.pid, image.regs.pc))
+        # step 9: "the process running is a copy of the old process"
+        raise ProcessOverlaid()

@@ -1,0 +1,175 @@
+"""Signals, including the new ``SIGDUMP``.
+
+Signal numbers follow 4.2BSD.  ``SIGDUMP`` is the paper's addition:
+number 32 (one past the classic set), default action ``DUMP`` — the
+process is terminated and the three restart files are written, the
+same shape as ``SIGQUIT``'s core dump but with more state.  Like
+``SIGKILL``, it can be neither caught nor ignored.
+
+A process's signal state (:class:`SigState`) — which signals are
+ignored, which are caught and by which handler addresses — is part of
+what ``SIGDUMP`` saves and ``rest_proc()`` restores ("all the
+information kept in the user and process structures that is related
+to the disposition of signals").
+"""
+
+import struct
+
+SIGHUP = 1
+SIGINT = 2
+SIGQUIT = 3
+SIGILL = 4
+SIGTRAP = 5
+SIGIOT = 6
+SIGEMT = 7
+SIGFPE = 8
+SIGKILL = 9
+SIGBUS = 10
+SIGSEGV = 11
+SIGSYS = 12
+SIGPIPE = 13
+SIGALRM = 14
+SIGTERM = 15
+SIGURG = 16
+SIGSTOP = 17
+SIGTSTP = 18
+SIGCONT = 19
+SIGCHLD = 20
+SIGTTIN = 21
+SIGTTOU = 22
+SIGIO = 23
+SIGXCPU = 24
+SIGXFSZ = 25
+SIGVTALRM = 26
+SIGPROF = 27
+SIGWINCH = 28
+SIGUSR1 = 30
+SIGUSR2 = 31
+#: the new signal: terminate and dump the three restart files
+SIGDUMP = 32
+
+NSIG = 33
+
+SIG_DFL = 0
+SIG_IGN = 1
+
+SIGNAL_NAMES = {
+    value: name
+    for name, value in list(globals().items())
+    if name.startswith("SIG") and isinstance(value, int)
+    and name not in ("SIG_DFL", "SIG_IGN")
+}
+
+# default actions
+A_TERM = "terminate"
+A_CORE = "core"  #: terminate with a core dump
+A_DUMP = "dump"  #: terminate writing the three migration dump files
+A_IGN = "ignore"
+A_STOP = "stop"
+A_CONT = "continue"
+
+_CORE_SIGNALS = {SIGQUIT, SIGILL, SIGTRAP, SIGIOT, SIGEMT, SIGFPE,
+                 SIGBUS, SIGSEGV, SIGSYS}
+_IGNORE_SIGNALS = {SIGURG, SIGCHLD, SIGIO, SIGWINCH}
+_STOP_SIGNALS = {SIGSTOP, SIGTSTP, SIGTTIN, SIGTTOU}
+
+#: signals whose disposition cannot be changed
+UNCATCHABLE = {SIGKILL, SIGSTOP, SIGDUMP}
+
+
+def default_action(sig):
+    if sig in _CORE_SIGNALS:
+        return A_CORE
+    if sig == SIGDUMP:
+        return A_DUMP
+    if sig in _IGNORE_SIGNALS:
+        return A_IGN
+    if sig in _STOP_SIGNALS:
+        return A_STOP
+    if sig == SIGCONT:
+        return A_CONT
+    return A_TERM
+
+
+def signal_name(sig):
+    return SIGNAL_NAMES.get(sig, "SIG#%d" % sig)
+
+
+class SigState:
+    """Per-process signal dispositions and pending set."""
+
+    #: serialized as NSIG little-endian i32 handler slots
+    _FORMAT = struct.Struct("<%di" % NSIG)
+    PACKED_SIZE = _FORMAT.size
+
+    def __init__(self):
+        #: sig -> SIG_DFL | SIG_IGN | handler address (VM text address)
+        self.handlers = [SIG_DFL] * NSIG
+        self.pending = set()
+
+    def action(self, sig):
+        """The action delivering ``sig`` now would take."""
+        handler = self.handlers[sig]
+        if handler == SIG_IGN:
+            return A_IGN
+        if handler != SIG_DFL:
+            return "catch"
+        return default_action(sig)
+
+    def set_handler(self, sig, handler):
+        if sig <= 0 or sig >= NSIG:
+            raise ValueError("bad signal %d" % sig)
+        if sig in UNCATCHABLE and handler != SIG_DFL:
+            raise PermissionError("signal %s cannot be caught or ignored"
+                                  % signal_name(sig))
+        old = self.handlers[sig]
+        self.handlers[sig] = handler
+        return old
+
+    def post(self, sig):
+        if sig <= 0 or sig >= NSIG:
+            raise ValueError("bad signal %d" % sig)
+        self.pending.add(sig)
+
+    def take_pending(self):
+        """Pop the lowest-numbered deliverable pending signal, or None."""
+        for sig in sorted(self.pending):
+            self.pending.discard(sig)
+            if self.action(sig) == A_IGN:
+                continue
+            return sig
+        return None
+
+    def exec_reset(self):
+        """On exec, caught signals revert to default (ignored stay)."""
+        self.handlers = [SIG_IGN if h == SIG_IGN else SIG_DFL
+                         for h in self.handlers]
+
+    def copy(self):
+        other = SigState()
+        other.handlers = list(self.handlers)
+        other.pending = set(self.pending)
+        return other
+
+    # -- dump serialization (part of the stackXXXXX file) -----------------
+
+    def pack(self):
+        return self._FORMAT.pack(*self.handlers)
+
+    @classmethod
+    def unpack(cls, blob, offset=0):
+        state = cls()
+        handlers = list(cls._FORMAT.unpack_from(blob, offset))
+        # uncatchable signals are forced back to the default on restore
+        for sig in UNCATCHABLE:
+            handlers[sig] = SIG_DFL
+        state.handlers = handlers
+        return state
+
+    def __repr__(self):
+        caught = [signal_name(sig) for sig, h in enumerate(self.handlers)
+                  if h not in (SIG_DFL, SIG_IGN)]
+        ignored = [signal_name(sig) for sig, h in enumerate(self.handlers)
+                   if h == SIG_IGN]
+        return "SigState(caught=%s ignored=%s pending=%s)" % (
+            caught, ignored, sorted(self.pending))

@@ -1,0 +1,118 @@
+"""Identity, time, spawn and introspection system calls."""
+
+from repro.errors import UnixError, EINVAL, ESRCH
+from repro.kernel.constants import STATE_NAMES
+
+
+class MiscSyscalls:
+    """Mixin: miscellaneous system calls (self is the Kernel)."""
+
+    def sys_gethostname(self, proc):
+        """Section 7 extension (A5): under ``compat_migrated_ids`` a
+        migrated process keeps seeing the host it started on."""
+        if self.costs.compat_migrated_ids and proc.old_host is not None:
+            return proc.old_host
+        return self.hostname
+
+    def sys_gethostname_real(self, proc):
+        return self.hostname
+
+    def sys_set_oldids(self, proc, old_pid, old_host):
+        """Record pre-migration identity in the user structure.
+
+        Part of the section 7 proposal: restart calls this before
+        rest_proc() when the kernel's compatibility option is on, so
+        getpid()/gethostname() can keep lying helpfully.
+        """
+        proc.old_pid = old_pid
+        proc.old_host = old_host
+        return 0
+
+    def sys_time(self, proc):
+        """Seconds since boot (the simulation epoch)."""
+        return int(self.clock.seconds())
+
+    def sys_spawn(self, proc, path, argv, stdio_fd=None):
+        """Create a child running ``path`` (fork+exec in one step).
+
+        Native-program convenience: Python generators cannot be
+        fork()ed, so the tooling uses spawn().  The child inherits
+        credentials, cwd, terminal and open files, like fork().
+
+        ``stdio_fd`` rewires the child's descriptors 0-2:
+
+        * an int wires all three to that one caller descriptor — how
+          rshd attaches a remote command to its network connection
+          (such a child has **no controlling terminal**, which is why
+          "certain terminal modes can not be preserved" over rsh);
+        * a 3-tuple wires each individually (None = inherit) — how
+          the shell builds pipelines and redirections.
+        """
+        child = self.machine.create_process(
+            path, argv, parent=proc, cred=proc.user.cred,
+            cwd=None, tty=proc.user.tty, inherit_from=proc)
+        if stdio_fd is None:
+            return child.pid
+        if isinstance(stdio_fd, int):
+            wiring = (stdio_fd, stdio_fd, stdio_fd)
+            child.user.tty = None
+        else:
+            wiring = tuple(stdio_fd)
+            if len(wiring) != 3:
+                from repro.errors import EINVAL
+                raise UnixError(EINVAL, "stdio_fd tuple must be 3-long")
+        for fd, source in zip((0, 1, 2), wiring):
+            if source is None:
+                continue
+            entry = proc.user.fd_lookup(source)
+            old = child.user.ofile[fd]
+            if old is not None:
+                child.user.ofile[fd] = None
+                self._release_entry(old)
+            entry.refcount += 1
+            child.user.ofile[fd] = entry
+        return child.pid
+
+    def sys_rsh_setup(self, proc):
+        """The rexec connection dance: reverse host lookup, privileged
+        port checks, hosts.equiv scan, login-shell startup.
+
+        A pseudo-call standing in for the user- and kernel-level work
+        a real rshd performs per connection; its (large, calibrated)
+        cost is the reason Figure 4's remote migrations are so slow.
+        """
+        self.charge(self.costs.rsh_setup_us)
+        return 0
+
+    def sys_daemon_setup(self, proc):
+        """Per-connection cost of the paper's proposed alternative: a
+        long-running daemon at a well-known port (section 6.4)."""
+        self.charge(self.costs.daemon_setup_us)
+        return 0
+
+    def sys_getproctab(self, proc):
+        """Process-table snapshot for ps(1) (native programs only).
+
+        Stands in for reading /dev/kmem with nlist(), which is how ps
+        actually worked on 4.2BSD.
+        """
+        rows = []
+        for entry in self.procs.all_procs():
+            rows.append({
+                "pid": entry.pid,
+                "ppid": entry.ppid,
+                "uid": entry.user.cred.uid,
+                "state": STATE_NAMES.get(entry.state, "?"),
+                "utime_us": entry.utime_us,
+                "stime_us": entry.stime_us,
+                "command": entry.command,
+            })
+        self.charge(self.costs.filetable_op_us * max(1, len(rows)))
+        return rows
+
+    def sys_proc_cpu_seconds(self, proc, pid):
+        """Total CPU seconds consumed by ``pid`` (load-balancer aid)."""
+        target = self.procs.lookup(pid)
+        if target is None:
+            raise UnixError(ESRCH, "pid %d" % pid)
+        return target.cpu_us() / 1e6

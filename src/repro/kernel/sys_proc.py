@@ -1,0 +1,182 @@
+"""Process-management system calls."""
+
+from repro.clock import US_PER_SEC
+from repro.errors import (UnixError, ECHILD, EINVAL, ENOMEM, EPERM,
+                          ESRCH)
+from repro.kernel.constants import SZOMB
+from repro.kernel.flow import WouldBlock
+from repro.kernel.proc import VMImageState
+from repro.kernel.signals import NSIG, SIG_DFL, SIG_IGN, signal_name
+
+
+def pack_wait_status(proc):
+    """Encode an exit the way wait() reports it: (code << 8) | sig."""
+    sig = proc.term_signal or 0
+    code = proc.exit_status or 0
+    return ((code & 0xFF) << 8) | (sig & 0x7F)
+
+
+class ProcSyscalls:
+    """Mixin: process system calls (self is the Kernel)."""
+
+    # -- creation and death ------------------------------------------------
+
+    def sys_fork(self, proc):
+        """Duplicate the calling process.  VM processes only — native
+        system programs use spawn() (documented deviation)."""
+        if not proc.is_vm():
+            raise UnixError(EINVAL, "fork from a native program")
+        child = self.procs.alloc(parent=proc, cred=proc.user.cred)
+        child.user = proc.user.copy_for_fork(self.files)
+        image = proc.image.image.copy()
+        image.regs.d[0] = 0  # fork returns 0 in the child
+        child.image = VMImageState(image)
+        child.command = proc.command
+        child.start_us = self.clock.now_us
+        self.charge(self.costs.fork_base_us
+                    + self.costs.copy_byte_us * image.mem_size)
+        self.scheduler.enqueue(child)
+        return child.pid
+
+    def sys_exit(self, proc, status=0):
+        self.do_exit(proc, status=status & 0xFF)
+        return 0  # never seen: the process is a zombie
+
+    def sys_wait(self, proc):
+        """Wait for a child; returns ``(pid, status)``.
+
+        The paper's caveat: a *migrated* process "ceases being the
+        parent of what used to be its children" — after rest_proc()
+        the new process has no children and wait() fails with ECHILD.
+        """
+        if not proc.children:
+            raise UnixError(ECHILD)
+        for child in proc.children:
+            if child.state == SZOMB:
+                status = pack_wait_status(child)
+                pid = child.pid
+                self.procs.remove(child)
+                self.charge(self.costs.filetable_op_us)
+                return pid, status
+        raise WouldBlock(("wait", proc.pid))
+
+    # -- identity -------------------------------------------------------------
+
+    def sys_getpid(self, proc):
+        """Section 7 extension (A5): with ``compat_migrated_ids`` on,
+        a migrated process keeps seeing its pre-migration pid."""
+        if self.costs.compat_migrated_ids and proc.old_pid is not None:
+            return proc.old_pid
+        return proc.pid
+
+    def sys_getpid_real(self, proc):
+        """The proposed companion call that always tells the truth."""
+        return proc.pid
+
+    def sys_getppid(self, proc):
+        return proc.ppid
+
+    def sys_getuid(self, proc):
+        return proc.user.cred.uid
+
+    def sys_geteuid(self, proc):
+        return proc.user.cred.euid
+
+    def sys_getgid(self, proc):
+        return proc.user.cred.gid
+
+    def sys_getegid(self, proc):
+        return proc.user.cred.egid
+
+    def sys_setreuid(self, proc, ruid, euid):
+        """Set real/effective uid (-1 leaves a value unchanged).
+
+        restart uses this to "set its real and effective user id to
+        that of the old process" before calling rest_proc().
+        """
+        cred = proc.user.cred
+        new_ruid = cred.uid if ruid == -1 else ruid
+        new_euid = cred.euid if euid == -1 else euid
+        if not cred.is_superuser():
+            allowed = {cred.uid, cred.euid}
+            if new_ruid not in allowed or new_euid not in allowed:
+                raise UnixError(EPERM, "setreuid(%d, %d)" % (ruid, euid))
+        cred.uid = new_ruid
+        cred.euid = new_euid
+        return 0
+
+    # -- signals -----------------------------------------------------------------
+
+    def sys_kill(self, proc, pid, sig):
+        """Send a signal.  "For security reasons, only the superuser
+        or the owner of the process can kill a process this way."
+        """
+        target = self.procs.lookup(pid)
+        if target is None or target.state == SZOMB:
+            raise UnixError(ESRCH, "pid %d" % pid)
+        if not proc.user.cred.can_signal(target.user.cred):
+            raise UnixError(EPERM, "kill %d" % pid)
+        if sig == 0:
+            return 0  # existence/permission probe
+        if not 0 < sig < NSIG:
+            raise UnixError(EINVAL, "signal %d" % sig)
+        self.post_signal(target, sig)
+        return 0
+
+    def sys_sigvec(self, proc, sig, handler):
+        """Install a signal disposition; returns the previous one.
+
+        ``handler`` is SIG_DFL, SIG_IGN, or (for VM processes) the
+        text address of a handler routine.
+        """
+        if not 0 < sig < NSIG:
+            raise UnixError(EINVAL, "signal %d" % sig)
+        if handler not in (SIG_DFL, SIG_IGN) and not proc.is_vm():
+            raise UnixError(EINVAL,
+                            "native programs cannot catch signals")
+        try:
+            return proc.user.sig.set_handler(sig, handler)
+        except PermissionError:
+            raise UnixError(EINVAL, "signal %s cannot be caught"
+                            % signal_name(sig)) from None
+
+    def sys_sigreturn(self, proc):
+        """Return from a signal handler (VM processes)."""
+        if not proc.is_vm():
+            raise UnixError(EINVAL, "sigreturn from native program")
+        image = proc.image.image
+        image.regs.sr = image.pop_i32()
+        image.regs.pc = image.pop_i32() & 0xFFFFFFFF
+        return 0
+
+    # -- memory ----------------------------------------------------------------------
+
+    def sys_sbrk(self, proc, increment):
+        if not proc.is_vm():
+            raise UnixError(EINVAL, "sbrk from native program")
+        image = proc.image.image
+        old = image.brk
+        new = old + increment
+        # keep a guard page between the break and the stack
+        if new < image.data_base or new > image.regs.sp - 4096:
+            raise UnixError(ENOMEM, "sbrk(%d)" % increment)
+        if increment > 0:
+            image.write_bytes(old, b"\x00" * increment)
+            self.charge(self.costs.zero_byte_us * increment)
+        image.brk = new
+        return old
+
+    # -- sleeping -----------------------------------------------------------------------
+
+    def sys_sleep(self, proc, seconds):
+        """Sleep for a number of (virtual) seconds.
+
+        dumpproc "simply sleeps for one second after each
+        unsuccessful attempt to open a.outXXXXX".
+        """
+        if seconds < 0:
+            raise UnixError(EINVAL, "sleep(%r)" % seconds)
+        channel = ("sleep", proc.pid, self.clock.now_us)
+        raise WouldBlock(channel,
+                         wake_at_us=self.clock.now_us
+                         + seconds * US_PER_SEC)

@@ -1,0 +1,73 @@
+"""The per-process ``user`` structure (u-area).
+
+"One of the most important structures in the kernel ... contains all
+the swappable information about the process that is currently being
+executed."  The paper adds one field to it: a **fixed-size character
+string holding the full path name of the current directory**, kept up
+to date by ``chdir()``.  That field (:attr:`User.cwd_name`) is what
+lets ``SIGDUMP`` write the cwd into the ``filesXXXXX`` file without
+any inode-to-name reverse mapping.
+"""
+
+from repro.errors import UnixError, ENAMETOOLONG, EBADF
+from repro.kernel.constants import NOFILE, MAXCWD
+from repro.kernel.cred import Credentials
+from repro.kernel.signals import SigState
+
+
+class User:
+    """The u-area of one process."""
+
+    def __init__(self, cred=None):
+        self.cred = cred or Credentials()
+        #: current directory as an inode reference: (FileSystem, Inode)
+        self.cdir = None
+        #: the paper's new field; "" means not yet initialised (it is
+        #: initialised by the first chdir() with an absolute path,
+        #: which happens early in the boot procedure)
+        self.cwd_name = ""
+        #: per-process open file table: fd -> File (or None)
+        self.ofile = [None] * NOFILE
+        self.sig = SigState()
+        #: controlling terminal (a Terminal, or an rsh NetStdio, or None)
+        self.tty = None
+
+    # -- cwd name maintenance (the chdir() modification) --------------------
+
+    def set_cwd_name(self, name):
+        if len(name) >= MAXCWD:
+            raise UnixError(ENAMETOOLONG, name)
+        self.cwd_name = name
+
+    # -- descriptor helpers ----------------------------------------------------
+
+    def fd_lookup(self, fd):
+        """Return the File for ``fd`` or raise EBADF."""
+        if not 0 <= fd < NOFILE or self.ofile[fd] is None:
+            raise UnixError(EBADF, "fd %d" % fd)
+        return self.ofile[fd]
+
+    def fd_alloc(self, entry, lowest_from=0):
+        """Install ``entry`` at the lowest free slot >= ``lowest_from``."""
+        for fd in range(lowest_from, NOFILE):
+            if self.ofile[fd] is None:
+                self.ofile[fd] = entry
+                return fd
+        from repro.errors import EMFILE
+        raise UnixError(EMFILE)
+
+    def open_fds(self):
+        return [fd for fd in range(NOFILE) if self.ofile[fd] is not None]
+
+    def copy_for_fork(self, filetable):
+        """Duplicate the u-area for a child; file refs are shared."""
+        child = User(self.cred.copy())
+        child.cdir = self.cdir
+        child.cwd_name = self.cwd_name
+        child.sig = self.sig.copy()
+        child.tty = self.tty
+        for fd, entry in enumerate(self.ofile):
+            if entry is not None:
+                entry.refcount += 1
+                child.ofile[fd] = entry
+        return child

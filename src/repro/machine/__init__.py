@@ -1,0 +1,6 @@
+"""Machines and clusters: the hardware the kernels run on."""
+
+from repro.machine.machine import Machine, SpawnHandle
+from repro.machine.cluster import Cluster, SimulationStuck
+
+__all__ = ["Machine", "SpawnHandle", "Cluster", "SimulationStuck"]

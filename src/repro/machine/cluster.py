@@ -1,0 +1,132 @@
+"""The cluster: several machines on one Ethernet, cross-mounted.
+
+Reproduces the paper's site: Sun workstations plus a file server,
+every machine's root visible on every other machine as ``/n/<host>``
+(the 8th-edition convention), home directories on the file server
+behind symbolic links.
+
+The simulation driver is conservative parallel discrete-event: the
+machine with the smallest next-action time always steps first, so
+cross-machine messages never arrive in a receiver's past.
+"""
+
+from repro.costmodel import CostModel
+from repro.machine.machine import Machine
+from repro.net.network import Network
+
+
+class SimulationStuck(Exception):
+    """run_until() could not make progress toward its predicate."""
+
+
+class Cluster:
+    """A set of machines sharing an Ethernet and NFS cross-mounts."""
+
+    def __init__(self, costs=None):
+        self.costs = costs or CostModel()
+        self.machines = {}
+        self.network = Network(self)
+
+    # -- topology --------------------------------------------------------------
+
+    def add_machine(self, name, cpu="mc68010"):
+        if name in self.machines:
+            raise ValueError("duplicate machine %r" % name)
+        machine = Machine(name, self, cpu=cpu)
+        self.machines[name] = machine
+        return machine
+
+    def machine(self, name):
+        return self.machines[name]
+
+    def exported_fs(self, host):
+        """The filesystem served for ``/n/<host>`` lookups.
+
+        Every machine exports its root to every other (and to itself
+        — a loopback mount, so ``dumpproc``'s ``/n/<self>/...``
+        rewriting also works for same-machine restarts).
+        """
+        machine = self.machines.get(host)
+        return machine.fs if machine is not None else None
+
+    def hosts(self):
+        return sorted(self.machines)
+
+    # -- site conventions ------------------------------------------------------------
+
+    def setup_home_directories(self, server_name, users):
+        """Paper-footnote convention: ``/u/<user>`` is a symlink to
+        ``/n/<server>/u2/<user>`` on every workstation."""
+        server = self.machines[server_name]
+        for user, uid in users.items():
+            home = server.fs.makedirs("/u2/%s" % user)
+            home.uid = uid
+            home.mode = 0o755
+        for machine in self.machines.values():
+            u_dir = machine.fs.resolve_local("/u")
+            for user in users:
+                if user not in u_dir.entries:
+                    machine.fs.symlink(u_dir, user,
+                                       "/n/%s/u2/%s" % (server_name,
+                                                        user))
+
+    # -- the simulation driver ----------------------------------------------------------
+
+    def wall_time_us(self):
+        """The cluster-wide wall clock (the most advanced machine)."""
+        if not self.machines:
+            return 0.0
+        return max(m.clock.now_us for m in self.machines.values())
+
+    def sync_clocks(self):
+        """Bring every machine's clock up to the cluster wall time."""
+        now = self.wall_time_us()
+        for machine in self.machines.values():
+            machine.clock.advance_to(now)
+
+    def step(self):
+        """Step the laggard machine once; False if nothing has work."""
+        best = None
+        best_time = float("inf")
+        for machine in self.machines.values():
+            if not machine.has_work():
+                continue
+            when = machine.next_time()
+            if when < best_time:
+                best = machine
+                best_time = when
+        if best is None:
+            return False
+        best.step()
+        return True
+
+    def run(self, max_steps=5_000_000, until_us=None):
+        """Run until idle, a time bound, or a step bound."""
+        for __ in range(max_steps):
+            if until_us is not None and self.wall_time_us() >= until_us:
+                return True
+            if not self.step():
+                return True
+        raise SimulationStuck("exceeded %d steps" % max_steps)
+
+    def run_until(self, predicate, max_steps=5_000_000):
+        """Run until ``predicate()`` is true.
+
+        Raises :class:`SimulationStuck` if the cluster goes idle (for
+        example a process is waiting for terminal input nobody will
+        type) or the step bound is hit with the predicate still false.
+        """
+        for __ in range(max_steps):
+            if predicate():
+                return
+            if not self.step():
+                if predicate():
+                    return
+                raise SimulationStuck(
+                    "cluster idle but the awaited condition is false")
+        raise SimulationStuck("exceeded %d steps" % max_steps)
+
+    def run_handle(self, handle, max_steps=5_000_000):
+        """Run until a SpawnHandle's process has exited."""
+        self.run_until(lambda: handle.exited, max_steps=max_steps)
+        return handle

@@ -1,0 +1,5 @@
+"""The network substrate: Ethernet model, sockets, rsh, migrationd."""
+
+from repro.net.network import Network, SocketState
+
+__all__ = ["Network", "SocketState"]

@@ -1,0 +1,105 @@
+"""The migration daemon: the paper's proposed faster alternative.
+
+Section 6.4: "it is always possible to write a better application
+which, by use of a UNIX daemon process and a well known port can
+achieve more satisfactory results: instead of using rsh to start
+processes remotely, applications will simply send messages to the
+daemon, who will start the processes on their behalf."
+
+``migrationd`` speaks the same framed protocol as rshd but performs no
+per-connection authentication dance — only a light ``daemon_setup``
+cost.  ``migrationd-run`` is the matching client, a drop-in for rsh
+(it is what ``migrate -d`` uses).  Ablation A1 measures the
+difference.
+"""
+
+from repro.errors import iserr
+from repro.programs.base import LineReader, print_err, write_all
+
+MIGRATIOND_PORT = 515
+
+_SENTINEL = b"\x00EXIT:"
+
+
+def migrationd_main(argv, env):
+    """The daemon proper: accept and dispatch to helpers."""
+    sock = yield ("socket",)
+    result = yield ("bind", sock, MIGRATIOND_PORT)
+    if iserr(result):
+        yield from print_err("migrationd: cannot bind port %d"
+                             % MIGRATIOND_PORT)
+        return 1
+    yield ("listen", sock)
+    while True:
+        conn = yield ("accept", sock)
+        if iserr(conn):
+            continue
+        child = yield ("spawn", "/bin/migrationd-helper",
+                       ["migrationd-helper"], conn)
+        yield ("close", conn)
+        if iserr(child):
+            continue
+
+
+def migrationd_helper_main(argv, env):
+    """Serve one request (stdio = the connection)."""
+    yield ("daemon_setup",)  # cheap: no rexec dance, no shell startup
+    reader = LineReader(0)
+    line = yield from reader.readline()
+    if not line or not line.startswith("CMD "):
+        yield from write_all(1, _SENTINEL + b"1\n")
+        return 1
+    words = line[4:].split()
+    child = yield ("spawn", "/bin/%s" % words[0], words, 0)
+    if iserr(child):
+        yield from write_all(1, _SENTINEL + b"1\n")
+        return 1
+    while True:
+        result = yield ("wait",)
+        if iserr(result):
+            status = 1
+            break
+        reaped, raw = result
+        if reaped == child:
+            status = (raw >> 8) & 0xFF if not raw & 0x7F else 1
+            break
+    yield from write_all(1, _SENTINEL + b"%d\n" % status)
+    return status
+
+
+def migrationd_run_main(argv, env):
+    """Client: ``migrationd-run host command...`` (rsh drop-in)."""
+    if len(argv) < 3:
+        yield from print_err("usage: migrationd-run host command ...")
+        return 1
+    host = argv[1]
+    command = " ".join(argv[2:])
+    sock = yield ("socket",)
+    result = yield ("connect", sock, host, MIGRATIOND_PORT)
+    if iserr(result):
+        yield from print_err("migrationd-run: %s: connection refused"
+                             % host)
+        return 1
+    yield from write_all(sock, "CMD %s\n" % command)
+    buffer = bytearray()
+    status = 1
+    while True:
+        data = yield ("read", sock, 1024)
+        if iserr(data) or data == b"":
+            if buffer:
+                yield from write_all(1, bytes(buffer))
+            break
+        buffer.extend(data)
+        index = buffer.find(_SENTINEL)
+        if index >= 0 and b"\n" in buffer[index:]:
+            if index:
+                yield from write_all(1, bytes(buffer[:index]))
+            line_end = buffer.index(b"\n", index)
+            try:
+                status = int(bytes(
+                    buffer[index + len(_SENTINEL):line_end]))
+            except ValueError:
+                status = 1
+            break
+    yield ("close", sock)
+    return status

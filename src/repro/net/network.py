@@ -1,0 +1,150 @@
+"""The shared 10 Mbit Ethernet and a minimal stream-socket layer.
+
+Data between machines moves as timed events: a send on machine A
+schedules delivery on machine B at ``A.now + message time``; the
+cluster's conservative stepping order guarantees B hasn't run past
+that point.  The socket layer implements just enough of TCP's shape —
+bind / listen / connect / accept / send / recv / close with EOF — for
+``rshd`` and the paper's proposed migration daemon to be written as
+ordinary native programs on top of it.
+"""
+
+from repro.errors import (UnixError, EADDRINUSE, ECONNREFUSED,
+                          ENOTCONN, EPIPE, EINVAL)
+from repro.kernel.flow import WouldBlock
+
+
+class SocketState:
+    """One endpoint.  Lives in the kernel file table's socket slot."""
+
+    _ids = iter(range(1, 1 << 30))
+
+    def __init__(self, machine):
+        self.id = next(SocketState._ids)
+        self.machine = machine
+        self.bound_port = None
+        self.listening = False
+        self.accept_queue = []
+        self.peer = None
+        self.rx = bytearray()
+        self.eof = False
+        self.connected = False
+        self.closed = False
+
+    def __repr__(self):
+        return ("SocketState(#%d on %s port=%r connected=%s)"
+                % (self.id, self.machine.name, self.bound_port,
+                   self.connected))
+
+
+class Network:
+    """The cluster's Ethernet segment."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        #: total bytes moved (bench bookkeeping)
+        self.bytes_moved = 0
+        self.messages_sent = 0
+
+    @property
+    def costs(self):
+        return self.cluster.costs
+
+    # -- raw timed delivery -----------------------------------------------
+
+    def deliver(self, src_machine, dst_machine, nbytes, action):
+        """Schedule ``action`` on ``dst_machine`` after transit time."""
+        self.bytes_moved += nbytes
+        self.messages_sent += 1
+        arrival = src_machine.clock.now_us + self.costs.message_us(nbytes)
+        dst_machine.post_event(arrival, action)
+
+    # -- sockets ------------------------------------------------------------
+
+    def sock_create(self, machine):
+        return SocketState(machine)
+
+    def sock_bind(self, machine, sock, port):
+        if port in machine.ports:
+            raise UnixError(EADDRINUSE, "port %d" % port)
+        machine.ports[port] = sock
+        sock.bound_port = port
+
+    def sock_listen(self, machine, sock):
+        if sock.bound_port is None:
+            raise UnixError(EINVAL, "listen before bind")
+        sock.listening = True
+
+    def sock_accept(self, machine, sock):
+        if not sock.listening:
+            raise UnixError(EINVAL, "accept on non-listening socket")
+        if sock.accept_queue:
+            return sock.accept_queue.pop(0)
+        raise WouldBlock(sock)
+
+    def sock_connect(self, machine, sock, host, port):
+        """Connect; the simulation charges the connect RTT here."""
+        if sock.connected:
+            raise UnixError(EINVAL, "already connected")
+        dst = self.cluster.machines.get(host)
+        if dst is None:
+            raise UnixError(ECONNREFUSED, "no host %r" % host)
+        listener = dst.ports.get(port)
+        if listener is None or not listener.listening:
+            raise UnixError(ECONNREFUSED, "%s:%d" % (host, port))
+        machine.kernel.charge(self.costs.net_rtt_us)
+        server_side = SocketState(dst)
+        server_side.peer = sock
+        server_side.connected = True
+        sock.peer = server_side
+        sock.connected = True
+
+        def arrive():
+            listener.accept_queue.append(server_side)
+            dst.kernel.wakeup(listener)
+
+        self.deliver(machine, dst, 64, arrive)
+
+    def sock_send(self, machine, sock, data):
+        if not sock.connected or sock.peer is None:
+            raise UnixError(ENOTCONN)
+        peer = sock.peer
+        if peer.closed:
+            raise UnixError(EPIPE)
+        dst = peer.machine
+        payload = bytes(data)
+
+        def arrive():
+            peer.rx.extend(payload)
+            dst.kernel.wakeup(peer)
+
+        self.deliver(machine, dst, len(payload), arrive)
+        return len(payload)
+
+    def sock_recv(self, machine, sock, nbytes):
+        if sock.rx:
+            take = min(nbytes, len(sock.rx))
+            data = bytes(sock.rx[:take])
+            del sock.rx[:take]
+            return data
+        if sock.eof:
+            return b""
+        if not sock.connected and not sock.listening:
+            raise UnixError(ENOTCONN)
+        raise WouldBlock(sock)
+
+    def sock_close(self, machine, sock):
+        if sock.closed:
+            return
+        sock.closed = True
+        if sock.bound_port is not None:
+            machine.ports.pop(sock.bound_port, None)
+        peer = sock.peer
+        if peer is not None and not peer.closed:
+            dst = peer.machine
+
+            def arrive():
+                peer.eof = True
+                dst.kernel.wakeup(peer)
+
+            self.deliver(machine, dst, 1, arrive)

@@ -1,0 +1,66 @@
+"""User programs: native system tools and guest assembly programs.
+
+``install_standard_programs(machine)`` provisions a machine the way
+the paper's workstations were provisioned: the three migration
+commands (``dumpproc``, ``restart``, ``migrate``), supporting tools
+(``ps``, ``kill``, ``rshd``, ``migrationd``) and the guest test
+programs under ``/bin``.
+"""
+
+from repro.vm.assembler import assemble
+
+
+def install_standard_programs(machine):
+    """Install the full program suite on ``machine``."""
+    from repro.programs.dumpproc import dumpproc_main
+    from repro.programs.restart import restart_main
+    from repro.programs.migrate import migrate_main
+    from repro.programs.psprog import ps_main
+    from repro.programs.killprog import kill_main
+    from repro.net.rsh import rshd_main, rsh_main, rshd_helper_main
+    from repro.net.migrationd import (migrationd_main,
+                                      migrationd_helper_main,
+                                      migrationd_run_main)
+    from repro.programs.shell import sh_main
+    from repro.programs.ckptd import ckptd_main
+    from repro.programs.coreutils import (echo_main, cat_main,
+                                          pwd_main, wc_main,
+                                          true_main, false_main)
+    from repro.programs import guest
+
+    machine.install_native_program("dumpproc", dumpproc_main,
+                                   size=8192)
+    machine.install_native_program("restart", restart_main, size=6144)
+    machine.install_native_program("migrate", migrate_main, size=6144)
+    machine.install_native_program("ps", ps_main, size=28672)
+    machine.install_native_program("kill", kill_main, size=8192)
+    machine.install_native_program("rsh", rsh_main, size=24576)
+    machine.install_native_program("rshd", rshd_main, size=24576)
+    machine.install_native_program("rshd-helper", rshd_helper_main,
+                                   size=16384)
+    machine.install_native_program("migrationd", migrationd_main,
+                                   size=20480)
+    machine.install_native_program("migrationd-helper",
+                                   migrationd_helper_main, size=16384)
+    machine.install_native_program("migrationd-run",
+                                   migrationd_run_main, size=16384)
+    machine.install_native_program("sh", sh_main, size=32768)
+    machine.install_native_program("ckptd", ckptd_main, size=12288)
+    machine.install_native_program("echo", echo_main, size=2048)
+    machine.install_native_program("cat", cat_main, size=4096)
+    machine.install_native_program("pwd", pwd_main, size=2048)
+    machine.install_native_program("wc", wc_main, size=6144)
+    machine.install_native_program("true", true_main, size=1024)
+    machine.install_native_program("false", false_main, size=1024)
+    guest.install_guest_programs(machine)
+    return machine
+
+
+def start_network_daemons(machine, rsh=True, daemon=True):
+    """Boot-time daemons: rshd and (optionally) migrationd."""
+    handles = []
+    if rsh:
+        handles.append(machine.spawn("/bin/rshd", uid=0))
+    if daemon:
+        handles.append(machine.spawn("/bin/migrationd", uid=0))
+    return handles

@@ -1,0 +1,137 @@
+"""Coroutine helpers for native (Python-coded) user programs.
+
+Native programs are generators that interact with the kernel only by
+yielding syscall requests (``("open", path, flags)``) and receiving
+results.  These helpers are sub-coroutines used with ``yield from``;
+they compose like ordinary library calls but every kernel interaction
+still flows through the syscall boundary (and is charged for).
+
+Error convention: kernel errors arrive as negative ints (``-errno``);
+:func:`repro.errors.iserr` tests for them.
+"""
+
+from repro.errors import iserr
+from repro.kernel.constants import (O_CREAT, O_RDONLY, O_TRUNC,
+                                    O_WRONLY)
+
+
+def write_all(fd, data):
+    """Write every byte of ``data`` (retrying partial writes)."""
+    if isinstance(data, str):
+        data = data.encode("latin-1")
+    done = 0
+    while done < len(data):
+        count = yield ("write", fd, data[done:])
+        if iserr(count):
+            return count
+        done += count
+    return done
+
+
+def print_to(fd, text):
+    return (yield from write_all(fd, text))
+
+
+def println(text=""):
+    return (yield from write_all(1, text + "\n"))
+
+
+def print_err(text):
+    return (yield from write_all(2, text + "\n"))
+
+
+def read_all(fd, chunk=4096):
+    """Read ``fd`` to EOF; returns bytes (or -errno)."""
+    parts = []
+    while True:
+        data = yield ("read", fd, chunk)
+        if iserr(data):
+            return data
+        if data == b"":
+            return b"".join(parts)
+        parts.append(data)
+
+
+def read_file(path):
+    """Open + read a whole file; bytes or -errno."""
+    fd = yield ("open", path, O_RDONLY, 0)
+    if iserr(fd):
+        return fd
+    data = yield from read_all(fd)
+    yield ("close", fd)
+    return data
+
+
+def write_file(path, data, mode=0o600):
+    """Create/overwrite ``path`` with ``data``; 0 or -errno."""
+    fd = yield ("open", path, O_WRONLY | O_CREAT | O_TRUNC, mode)
+    if iserr(fd):
+        return fd
+    result = yield from write_all(fd, data)
+    yield ("close", fd)
+    return 0 if not iserr(result) else result
+
+
+class LineReader:
+    """Buffered line reading over a raw fd (sockets, files)."""
+
+    def __init__(self, fd):
+        self.fd = fd
+        self.buffer = bytearray()
+        self.eof = False
+
+    def readline(self):
+        """yield-from: one line without the newline, or None at EOF."""
+        while b"\n" not in self.buffer and not self.eof:
+            data = yield ("read", self.fd, 512)
+            if iserr(data) or data == b"":
+                self.eof = True
+                break
+            self.buffer.extend(data)
+        if b"\n" in self.buffer:
+            index = self.buffer.index(b"\n")
+            line = bytes(self.buffer[:index]).decode("latin-1")
+            del self.buffer[:index + 1]
+            return line
+        if self.buffer:
+            line = bytes(self.buffer).decode("latin-1")
+            del self.buffer[:]
+            return line
+        return None
+
+    def read_remaining(self):
+        """yield-from: everything up to EOF as bytes."""
+        rest = yield from read_all(self.fd)
+        if iserr(rest):
+            rest = b""
+        data = bytes(self.buffer) + rest
+        del self.buffer[:]
+        self.eof = True
+        return data
+
+
+def parse_options(argv, spec):
+    """A tiny getopt: ``spec`` maps ``-x`` flags to ``True`` (takes a
+    value) or ``False`` (boolean).  Returns ``(options, positional)``
+    or an error string.
+    """
+    options = {}
+    positional = []
+    index = 1
+    while index < len(argv):
+        arg = argv[index]
+        if arg.startswith("-") and len(arg) > 1:
+            if arg not in spec:
+                return "unknown option %s" % arg, None
+            if spec[arg]:
+                if index + 1 >= len(argv):
+                    return "option %s needs a value" % arg, None
+                options[arg] = argv[index + 1]
+                index += 2
+            else:
+                options[arg] = True
+                index += 1
+        else:
+            positional.append(arg)
+            index += 1
+    return options, positional

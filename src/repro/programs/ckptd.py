@@ -1,0 +1,130 @@
+"""``ckptd`` — the section 8 checkpointing application, in-universe.
+
+"We may write an application to take periodic snapshots of it and
+save those snapshots by moving them to a directory managed by the
+application (perhaps renaming them appropriately) ... The application
+should also make copies of all files that were open when the process
+was checkpointed."
+
+Unlike the host-side :class:`repro.apps.CheckpointManager` (a Python
+orchestration API), ``ckptd`` is a *native user program*: everything
+it does — killing the job, archiving the dump, copying the open
+files, resuming the job — happens through system calls, exactly as
+the paper's application would have.
+
+Usage: ``ckptd <pid> <interval-seconds> <rounds> [<directory>]``.
+After each snapshot the job continues under a new pid (a child of
+ckptd); the daemon tracks it and prints one status line per round.
+"""
+
+from repro.errors import iserr, ECHILD, EEXIST, UnixError
+from repro.core.formats import FilesInfo, dump_file_names
+from repro.programs.base import (print_err, println, read_file,
+                                 write_file)
+
+DEFAULT_DIRECTORY = "/tmp/ckpt"
+
+USAGE = "usage: ckptd pid interval rounds [directory]"
+
+
+def ckptd_main(argv, env):
+    if len(argv) < 4:
+        yield from print_err(USAGE)
+        return 1
+    try:
+        pid = int(argv[1])
+        interval = int(argv[2])
+        rounds = int(argv[3])
+    except ValueError:
+        yield from print_err(USAGE)
+        return 1
+    directory = argv[4] if len(argv) > 4 else DEFAULT_DIRECTORY
+    result = yield ("mkdir", directory, 0o755)
+    if iserr(result) and result != -EEXIST:
+        yield from print_err("ckptd: cannot create %s" % directory)
+        return 1
+
+    for round_no in range(rounds):
+        yield ("sleep", interval)
+        new_pid = yield from _snapshot(pid, round_no, directory)
+        if new_pid is None:
+            yield from print_err("ckptd: checkpoint %d of pid %d "
+                                 "failed" % (round_no, pid))
+            return 1
+        yield from println("ckptd: checkpoint %d taken, pid %d -> %d"
+                           % (round_no, pid, new_pid))
+        pid = new_pid
+    return 0
+
+
+def _snapshot(pid, round_no, directory):
+    """One checkpoint: dump, archive, copy files, resume.
+
+    Returns the resumed job's pid, or None.
+    """
+    # 1. dump the job (dumpproc kills it and rewrites the files file)
+    dumper = yield ("spawn", "/bin/dumpproc",
+                    ["dumpproc", "-p", str(pid)])
+    if iserr(dumper):
+        return None
+    status = yield from _wait_for(dumper)
+    if status != 0:
+        return None
+
+    # 2. archive the three dump files (copying, so restart can still
+    #    find them under the names it expects)
+    sources = dump_file_names(pid)
+    for index, (kind, source) in enumerate(
+            zip(("aout", "files", "stack"), sources)):
+        data = yield from read_file(source)
+        if iserr(data):
+            return None
+        target = "%s/ck%d.%s" % (directory, round_no, kind)
+        result = yield from write_file(target, data)
+        if iserr(result):
+            return None
+        if kind == "aout":
+            yield ("chmod", target, 0o700)
+
+    # 3. snapshot every open regular file recorded in the dump
+    files_blob = yield from read_file(sources[1])
+    try:
+        info = FilesInfo.unpack(files_blob)
+    except UnixError:
+        return None
+    seen = set()
+    for slot, entry in enumerate(info.entries):
+        if not entry.is_file() or entry.path in seen \
+                or entry.path.startswith("/dev/"):
+            continue
+        seen.add(entry.path)
+        stat = yield ("stat", entry.path)
+        if iserr(stat) or stat.is_terminal():
+            continue
+        data = yield from read_file(entry.path)
+        if iserr(data):
+            continue
+        yield from write_file("%s/ck%d.fd%d" % (directory, round_no,
+                                                slot), data)
+
+    # 4. resume the job: the restart child *becomes* the job
+    runner = yield ("spawn", "/bin/restart",
+                    ["restart", "-p", str(pid)])
+    if iserr(runner):
+        return None
+    return runner
+
+
+def _wait_for(target_pid):
+    """Reap children until ``target_pid`` exits; returns its status.
+
+    ckptd accumulates other children (past incarnations of the job it
+    dumped), so wait() may hand those back first.
+    """
+    while True:
+        result = yield ("wait",)
+        if iserr(result):
+            return 1 if result == -ECHILD else 1
+        pid, raw = result
+        if pid == target_pid:
+            return (raw >> 8) & 0xFF if not raw & 0x7F else 1

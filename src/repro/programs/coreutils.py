@@ -1,0 +1,80 @@
+"""Small native utilities: echo, cat, pwd, true, false.
+
+Enough of a userland for the shell to be useful and for pipelines to
+have something to pump through.
+"""
+
+from repro.errors import iserr, errno_name
+from repro.kernel.constants import O_RDONLY
+from repro.programs.base import print_err, read_all, write_all
+
+
+def echo_main(argv, env):
+    """echo [args...] — arguments to stdout, newline-terminated."""
+    yield from write_all(1, " ".join(argv[1:]) + "\n")
+    return 0
+
+
+def cat_main(argv, env):
+    """cat [file...] — concatenate files (or stdin) to stdout."""
+    status = 0
+    names = argv[1:]
+    if not names:
+        data = yield from read_all(0)
+        if not iserr(data):
+            yield from write_all(1, data)
+        return 0
+    for name in names:
+        fd = yield ("open", name, O_RDONLY, 0)
+        if iserr(fd):
+            yield from print_err("cat: %s: %s"
+                                 % (name, errno_name(-fd)))
+            status = 1
+            continue
+        data = yield from read_all(fd)
+        yield ("close", fd)
+        if iserr(data):
+            status = 1
+            continue
+        yield from write_all(1, data)
+    return status
+
+
+def pwd_main(argv, env):
+    """pwd — the kernel-tracked current directory name."""
+    cwd = yield ("getcwd",)
+    if iserr(cwd):
+        yield from print_err("pwd: cannot determine cwd")
+        return 1
+    yield from write_all(1, cwd + "\n")
+    return 0
+
+
+def wc_main(argv, env):
+    """wc [file] — line, word and byte counts."""
+    if len(argv) > 1:
+        from repro.programs.base import read_file
+        data = yield from read_file(argv[1])
+        if iserr(data):
+            yield from print_err("wc: %s: %s"
+                                 % (argv[1], errno_name(-data)))
+            return 1
+    else:
+        data = yield from read_all(0)
+        if iserr(data):
+            return 1
+    lines = data.count(b"\n")
+    words = len(data.split())
+    yield from write_all(1, "%7d %7d %7d\n" % (lines, words,
+                                               len(data)))
+    return 0
+
+
+def true_main(argv, env):
+    yield ("getpid",)
+    return 0
+
+
+def false_main(argv, env):
+    yield ("getpid",)
+    return 1

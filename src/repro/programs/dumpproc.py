@@ -1,0 +1,106 @@
+"""The ``dumpproc`` command (sections 4.1 and 4.4).
+
+"Terminate a process (kill it) dumping to disk all the information
+that is necessary to restart it."
+
+Implementation, following section 4.4 step for step:
+
+* kill the specified process with a SIGDUMP signal;
+* wait for the dump to appear (the dump is written by the *victim*
+  when it is next scheduled, so dumpproc "simply sleeps for one second
+  after each unsuccessful attempt to open a.outXXXXX (aborting after
+  ten tries)");
+* read in the filesXXXXX file;
+* resolve symbolic links for the cwd and all open files;
+* file names that point to a terminal become ``/dev/tty``;
+* names still local to this machine get ``/n/<machinename>``
+  prepended;
+* overwrite the modified information onto the filesXXXXX file.
+
+Only the superuser or the owner of the process can do this — the
+``kill()`` permission check enforces it.
+"""
+
+from repro.errors import iserr, errno_name, UnixError
+from repro.kernel.constants import O_RDONLY
+from repro.kernel.signals import SIGDUMP
+from repro.core.formats import FilesInfo, dump_file_names
+from repro.core.symlinks import resolve_symlinks_syscalls
+from repro.programs.base import (parse_options, print_err, read_file,
+                                 write_file)
+
+#: polling parameters from the paper
+POLL_TRIES = 10
+POLL_SLEEP_SECONDS = 1
+
+USAGE = "usage: dumpproc -p pid"
+
+
+def dumpproc_main(argv, env):
+    opts, __ = parse_options(argv, {"-p": True})
+    if not isinstance(opts, dict) or "-p" not in opts:
+        yield from print_err(USAGE)
+        return 1
+    try:
+        pid = int(opts["-p"])
+    except ValueError:
+        yield from print_err(USAGE)
+        return 1
+
+    result = yield ("kill", pid, SIGDUMP)
+    if iserr(result):
+        yield from print_err("dumpproc: cannot signal %d: %s"
+                             % (pid, errno_name(-result)))
+        return 1
+
+    aout_path, files_path, __ = dump_file_names(pid)
+
+    # wait for the victim to be scheduled and finish writing its dump
+    for attempt in range(POLL_TRIES):
+        fd = yield ("open", aout_path, O_RDONLY, 0)
+        if not iserr(fd):
+            yield ("close", fd)
+            break
+        yield ("sleep", POLL_SLEEP_SECONDS)
+    else:
+        yield from print_err("dumpproc: no dump appeared at %s"
+                             % aout_path)
+        return 1
+
+    blob = yield from read_file(files_path)
+    if iserr(blob):
+        yield from print_err("dumpproc: cannot read %s" % files_path)
+        return 1
+    try:
+        info = FilesInfo.unpack(blob)
+    except UnixError:
+        yield from print_err("dumpproc: bad magic in %s" % files_path)
+        return 1
+
+    hostname = yield ("gethostname",)
+    info.cwd = yield from _rewrite_path(info.cwd, hostname,
+                                        terminal_check=False)
+    for entry in info.entries:
+        if entry.is_file() and entry.path:
+            entry.path = yield from _rewrite_path(entry.path, hostname)
+
+    result = yield from write_file(files_path, info.pack())
+    if iserr(result):
+        yield from print_err("dumpproc: cannot rewrite %s" % files_path)
+        return 1
+    return 0
+
+
+def _rewrite_path(path, hostname, terminal_check=True):
+    """Apply the section 4.4 rewriting rules to one path name."""
+    if terminal_check:
+        stat = yield ("stat", path)
+        if not iserr(stat) and stat.is_terminal():
+            # point it at the current terminal of whatever opens it
+            return "/dev/tty"
+    resolved = yield from resolve_symlinks_syscalls(path)
+    if iserr(resolved):
+        resolved = path  # keep the name; restart will fall back
+    if not resolved.startswith("/n/"):
+        resolved = "/n/%s%s" % (hostname, resolved)
+    return resolved

@@ -1,0 +1,106 @@
+"""A raw-mode "screen editor": the visually-oriented test program.
+
+Puts its terminal into raw (no-echo, character-at-a-time) mode, keeps
+an in-memory text buffer, and processes keystrokes:
+
+* ``r`` — redraw the screen (the paper: after restarting a visual
+  program one types "whatever command will cause that program to
+  redraw the screen", "^L in most cases" — ours is ``r``);
+* ``q`` — restore the terminal modes and quit;
+* anything else — append to the buffer and echo it bracketed.
+
+Because ``dumpproc`` records the terminal flags and ``restart``
+re-establishes them, the editor keeps working after a *local* restart;
+through ``rsh`` (whose stdio is a socket, not a terminal) the mode
+restoration is impossible and the program becomes useless — the exact
+limitation of section 4.1.
+"""
+
+from repro.programs.guest.libasm import program
+
+BODY = """
+start:  move  #SYS_ioctl, d0        ; save current terminal flags
+        move  #0, d1
+        move  #TIOCGETP, d2
+        move  #flagbuf, d3
+        trap
+        move  flagbuf, d7           ; original flags live in d7
+        move  #TF_RAW, flagbuf      ; raw, no echo
+        move  #SYS_ioctl, d0
+        move  #0, d1
+        move  #TIOCSETP, d2
+        move  #flagbuf, d3
+        trap
+        jsr   redraw
+
+edloop: move  #SYS_read, d0
+        move  #0, d1
+        move  #charbuf, d2
+        move  #1, d3
+        trap
+        tst   d0
+        ble   edquit
+        movb  charbuf, d5
+        cmp   #'q', d5
+        beq   edquit
+        cmp   #'r', d5
+        beq   edredraw
+
+        lea   textbuf, a0           ; insert at textbuf[textlen]
+        move  a0, d3
+        add   textlen, d3
+        move  d3, a1
+        movb  charbuf, d5
+        movb  d5, (a1)
+        add   #1, textlen
+
+        lea   msg_lb, a0            ; echo "[c]"
+        jsr   puts
+        move  #SYS_write, d0
+        move  #1, d1
+        move  #charbuf, d2
+        move  #1, d3
+        trap
+        lea   msg_rb, a0
+        jsr   puts
+        bra   edloop
+
+edredraw:
+        jsr   redraw
+        bra   edloop
+
+edquit: move  d7, flagbuf           ; restore the terminal
+        move  #SYS_ioctl, d0
+        move  #0, d1
+        move  #TIOCSETP, d2
+        move  #flagbuf, d3
+        trap
+        move  #0, d2
+        jsr   exit
+
+redraw: lea   msg_screen, a0
+        jsr   puts
+        move  #SYS_write, d0
+        move  #1, d1
+        move  #textbuf, d2
+        move  textlen, d3
+        trap
+        lea   msg_bar, a0
+        jsr   puts
+        rts
+"""
+
+DATA = """
+flagbuf:    .word 0
+charbuf:    .space 4
+textlen:    .word 0
+msg_screen: .asciz "=== ed ===\\n"
+msg_bar:    .asciz "\\n---\\n"
+msg_lb:     .asciz "["
+msg_rb:     .asciz "]"
+textbuf:    .space 256
+"""
+
+
+def editor_aout(cpu="mc68010"):
+    return program(BODY, DATA, cpu=cpu).aout

@@ -1,0 +1,54 @@
+"""The section 7 hardware-dependence misbehaver (Sun-3 only).
+
+"A more serious example is that of a process that acts differently
+depending on which machine it is running (e.g., uses hardware floating
+point operations if running on host A, otherwise emulates them in
+software) — if that process is migrated from host A to some other host
+after it decides to use hardware operations, it will crash."
+
+Our analogue: this program is built for the MC68020 and its inner loop
+uses the 68020-only ``mull`` instruction ("the hardware operation").
+Migrating it from a Sun-3 to a Sun-2 executes ``mull`` on a CPU that
+does not have it — an illegal-instruction fault, i.e. the crash the
+paper predicts.  Migrating Sun-2 → Sun-3 programs is always safe
+("upward-compatible").
+"""
+
+from repro.programs.guest.libasm import program
+
+BODY = """
+start:  move  #1, d6                ; accumulator
+
+edloop: lea   prompt, a0
+        jsr   puts
+        move  #SYS_read, d0         ; wait for a line (dump point)
+        move  #0, d1
+        move  #linebuf, d2
+        move  #64, d3
+        trap
+        tst   d0
+        ble   done
+        mull  #3, d6                ; THE hardware-only operation
+        add   #1, d6
+        lea   msg_v, a0
+        jsr   puts
+        move  d6, d2
+        jsr   putnum
+        lea   msg_nl, a0
+        jsr   puts
+        bra   edloop
+
+done:   move  #0, d2
+        jsr   exit
+"""
+
+DATA = """
+prompt:  .asciz "# "
+linebuf: .space 64
+msg_v:   .asciz "v="
+msg_nl:  .asciz "\\n"
+"""
+
+
+def envdep_aout():
+    return program(BODY, DATA, cpu="mc68020").aout

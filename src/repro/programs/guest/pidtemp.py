@@ -1,0 +1,92 @@
+"""The section 7 misbehaver: temp files named after getpid().
+
+"If a process repeatedly opens a temporary file whose name consists of
+a fixed prefix to which the process id is appended, then, after the
+process is migrated and the process id is changed, it will no longer
+be able to locate that file.  (This will happen if the program
+requests the process id from the system every time ...)"
+
+The program creates ``/tmp/pt<pid>`` once, then on every line of input
+re-derives the name from a *fresh* ``getpid()`` and tries to reopen
+it, printing ``ok`` or ``LOST``.  Migrated without the
+``compat_migrated_ids`` kernel option it prints ``LOST``; with the
+option (the paper's proposed fix, ablation A5) it keeps printing
+``ok``.
+"""
+
+from repro.programs.guest.libasm import program
+
+BODY = """
+start:  jsr   makename              ; build /tmp/pt<pid> from getpid()
+        move  #SYS_creat, d0        ; create the temp file once
+        move  #namebuf, d1
+        move  #420, d2
+        trap
+        tst   d0
+        blt   fail
+        move  d0, d1                ; and close it again
+        move  #SYS_close, d0
+        trap
+
+ptloop: lea   prompt, a0
+        jsr   puts
+        move  #SYS_read, d0         ; wait for a line (dump point)
+        move  #0, d1
+        move  #linebuf, d2
+        move  #64, d3
+        trap
+        tst   d0
+        ble   done
+        jsr   makename              ; ask for the pid *again*
+        move  #SYS_open, d0
+        move  #namebuf, d1
+        move  #O_RDONLY, d2
+        move  #0, d3
+        trap
+        tst   d0
+        blt   lost
+        move  d0, d1
+        move  #SYS_close, d0
+        trap
+        lea   msg_ok, a0
+        jsr   puts
+        bra   ptloop
+lost:   lea   msg_lost, a0
+        jsr   puts
+        move  #1, d2
+        jsr   exit
+
+done:   move  #0, d2
+        jsr   exit
+fail:   move  #2, d2
+        jsr   exit
+
+; build "/tmp/pt<pid>" into namebuf
+makename:
+        lea   namebuf, a0
+        lea   prefix, a1
+mkcopy: movb  (a1), d5
+        beq   mkpid
+        movb  d5, (a0)
+        add   #1, a0
+        add   #1, a1
+        bra   mkcopy
+mkpid:  move  #SYS_getpid, d0
+        trap
+        move  d0, d2
+        jsr   itoa                  ; itoa NUL-terminates
+        rts
+"""
+
+DATA = """
+prefix:   .asciz "/tmp/pt"
+namebuf:  .space 64
+linebuf:  .space 64
+prompt:   .asciz "? "
+msg_ok:   .asciz "ok\\n"
+msg_lost: .asciz "LOST\\n"
+"""
+
+
+def pidtemp_aout(cpu="mc68010"):
+    return program(BODY, DATA, cpu=cpu).aout

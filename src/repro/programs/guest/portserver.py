@@ -1,0 +1,85 @@
+"""A network service: the test program for the section 9 extension.
+
+The paper's future work asks "whether support for sockets can be
+added".  This server binds a well-known port, listens, and serves one
+request per connection (echoing the payload back behind a ``srv:``
+prefix, and counting requests in its data segment).
+
+With the stock kernel, dumping it loses the socket and the restarted
+server spins uselessly on ``/dev/null``.  With the
+``migrate_listening_sockets`` kernel option, the dump records the
+bound port, restart re-binds and re-listens on the destination, and
+the process — resuming *inside* its interrupted ``accept()`` — simply
+starts serving clients of the new machine, request counter intact.
+"""
+
+from repro.programs.guest.libasm import program
+
+PORT = 6000
+
+BODY = """
+start:  move  #SYS_socket, d0
+        trap
+        move  d0, d7                ; the listening socket
+        move  #SYS_bind, d0
+        move  d7, d1
+        move  #%(port)d, d2
+        trap
+        tst   d0
+        blt   fail
+        move  #SYS_listen, d0
+        move  d7, d1
+        trap
+        lea   msg_up, a0
+        jsr   puts
+
+serve:  move  #SYS_accept, d0       ; <- dump point: blocked here
+        move  d7, d1
+        trap
+        tst   d0
+        blt   fail                  ; socket gone (stock kernel)
+        move  d0, d6                ; the connection
+
+        move  #SYS_read, d0
+        move  d6, d1
+        move  #buf, d2
+        move  #64, d3
+        trap
+        tst   d0
+        ble   hangup
+        move  d0, d5                ; request length
+
+        move  #SYS_write, d0        ; reply: "srv:" + request
+        move  d6, d1
+        move  #msg_srv, d2
+        move  #4, d3
+        trap
+        move  #SYS_write, d0
+        move  d6, d1
+        move  #buf, d2
+        move  d5, d3
+        trap
+        add   #1, served
+
+hangup: move  #SYS_close, d0
+        move  d6, d1
+        trap
+        bra   serve
+
+fail:   lea   msg_down, a0
+        jsr   puts
+        move  #1, d2
+        jsr   exit
+""" % {"port": PORT}
+
+DATA = """
+served:   .word 0
+buf:      .space 64
+msg_up:   .asciz "serving\\n"
+msg_srv:  .asciz "srv:"
+msg_down: .asciz "socket lost\\n"
+"""
+
+
+def portserver_aout(cpu="mc68010"):
+    return program(BODY, DATA, cpu=cpu).aout

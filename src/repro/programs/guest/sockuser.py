@@ -1,0 +1,58 @@
+"""A process holding a socket: the main migration limitation.
+
+"The main limitation is the inability to redirect pipes and sockets
+... The best we can do in our current implementation is to redirect
+socket I/O to a file [/dev/null], which is probably of little use."
+
+The program creates a socket, then on each line of input writes a byte
+to the socket fd and reports the result.  Before migration the socket
+is unconnected, so the write fails (``w=-1``); after migration the fd
+has silently become ``/dev/null`` and the write "succeeds" (``w=1``) —
+observable evidence of the documented degradation.
+"""
+
+from repro.programs.guest.libasm import program
+
+BODY = """
+start:  move  #SYS_socket, d0
+        trap
+        move  d0, d7                ; the socket fd
+
+skloop: lea   prompt, a0
+        jsr   puts
+        move  #SYS_read, d0         ; wait for a line (dump point)
+        move  #0, d1
+        move  #linebuf, d2
+        move  #64, d3
+        trap
+        tst   d0
+        ble   done
+        move  #SYS_write, d0        ; poke the socket
+        move  d7, d1
+        move  #onebyte, d2
+        move  #1, d3
+        trap
+        move  d0, d6                ; write result (puts clobbers d2)
+        lea   msg_w, a0
+        jsr   puts
+        move  d6, d2
+        jsr   putnum
+        lea   msg_nl, a0
+        jsr   puts
+        bra   skloop
+
+done:   move  #0, d2
+        jsr   exit
+"""
+
+DATA = """
+prompt:  .asciz "$ "
+linebuf: .space 64
+onebyte: .asciz "x"
+msg_w:   .asciz "w="
+msg_nl:  .asciz "\\n"
+"""
+
+
+def sockuser_aout(cpu="mc68010"):
+    return program(BODY, DATA, cpu=cpu).aout

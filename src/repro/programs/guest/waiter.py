@@ -1,0 +1,68 @@
+"""The section 7 wait() caveat demonstrator.
+
+"Processes that wait for one or more of their children to complete
+should not be migrated while waiting.  When such a process is moved to
+another machine, it ceases being the parent of what used to be its
+children, and waiting for them will produce undefined results."
+
+The program forks a child that reads one line of input and exits; the
+parent announces itself and calls ``wait()``.  Dump the *parent* while
+it blocks in wait(), restart it anywhere, and the retried wait() fails
+with ECHILD — the restarted process prints ``wait failed``.
+"""
+
+from repro.programs.guest.libasm import program
+
+BODY = """
+start:  move  #SYS_fork, d0
+        trap
+        tst   d0
+        blt   fail
+        beq   child
+
+        lea   msg_waiting, a0       ; parent
+        jsr   puts
+        move  #SYS_wait, d0         ; <- dump point
+        move  #0, d1
+        trap
+        tst   d0
+        blt   wait_failed
+        move  d0, d6                ; reaped pid (puts clobbers d0)
+        lea   msg_reaped, a0
+        jsr   puts
+        move  d6, d2
+        jsr   putnum
+        lea   msg_nl, a0
+        jsr   puts
+        move  #0, d2
+        jsr   exit
+
+wait_failed:
+        lea   msg_failed, a0
+        jsr   puts
+        move  #1, d2
+        jsr   exit
+
+child:  move  #SYS_read, d0         ; the child waits for input ...
+        move  #0, d1
+        move  #linebuf, d2
+        move  #64, d3
+        trap
+        move  #0, d2                ; ... and exits
+        jsr   exit
+
+fail:   move  #2, d2
+        jsr   exit
+"""
+
+DATA = """
+linebuf:     .space 64
+msg_waiting: .asciz "waiting\\n"
+msg_reaped:  .asciz "reaped pid "
+msg_failed:  .asciz "wait failed\\n"
+msg_nl:      .asciz "\\n"
+"""
+
+
+def waiter_aout(cpu="mc68010"):
+    return program(BODY, DATA, cpu=cpu).aout

@@ -1,0 +1,38 @@
+"""``kill`` — send a signal; ``kill -32 pid`` sends SIGDUMP by hand.
+
+"A new signal, SIGDUMP.  When a process receives this signal (which
+can be sent using the UNIX kill system call), the process is
+terminated, and all the information that is necessary to restart it
+will be dumped to disk."
+"""
+
+from repro.errors import iserr, errno_name
+from repro.kernel.signals import SIGTERM
+from repro.programs.base import print_err
+
+USAGE = "usage: kill [-signal] pid ..."
+
+
+def kill_main(argv, env):
+    args = argv[1:]
+    signal = SIGTERM
+    if args and args[0].startswith("-") and args[0][1:].isdigit():
+        signal = int(args[0][1:])
+        args = args[1:]
+    if not args:
+        yield from print_err(USAGE)
+        return 1
+    status = 0
+    for arg in args:
+        try:
+            pid = int(arg)
+        except ValueError:
+            yield from print_err("kill: bad pid %r" % arg)
+            status = 1
+            continue
+        result = yield ("kill", pid, signal)
+        if iserr(result):
+            yield from print_err("kill: %d: %s"
+                                 % (pid, errno_name(-result)))
+            status = 1
+    return status

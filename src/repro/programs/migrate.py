@@ -1,0 +1,81 @@
+"""The ``migrate`` command (sections 4.1 and 6.4).
+
+"Move a process from one machine to another.  This is simply a
+combination of the two previous commands ... Migrate calls dumpproc
+and restart internally, by using the remote shell command rsh ... if
+necessary."
+
+``migrate -p pid [-f fromhost] [-t tohost]`` — both hosts default to
+the machine the command is typed on.  The dump phase is waited for
+(its success gates the restart); the restart phase is only *started*:
+on success the restart process becomes the migrated program, which may
+run forever on migrate's terminal.
+
+With ``-d`` the remote execution goes through the migration daemon
+(``migrationd``) instead of rsh — the faster alternative the paper
+sketches in section 6.4 ("applications will simply send messages to
+the daemon, who will start the processes on their behalf"); this is
+ablation A1.
+"""
+
+from repro.errors import iserr, ECHILD
+from repro.programs.base import parse_options, print_err
+
+USAGE = "usage: migrate -p pid [-f fromhost] [-t tohost] [-d]"
+
+
+def migrate_main(argv, env):
+    opts, __ = parse_options(argv, {"-p": True, "-f": True, "-t": True,
+                                    "-d": False})
+    if not isinstance(opts, dict) or "-p" not in opts:
+        yield from print_err(USAGE)
+        return 1
+    try:
+        pid = int(opts["-p"])
+    except ValueError:
+        yield from print_err(USAGE)
+        return 1
+    local = yield ("gethostname",)
+    source = opts.get("-f") or local
+    destination = opts.get("-t") or local
+    remote_runner = "migrationd-run" if opts.get("-d") else "rsh"
+
+    # -- phase 1: dump on the source host (waited for) ----------------------
+    dump_args = ["dumpproc", "-p", str(pid)]
+    status = yield from _run(source, local, dump_args, remote_runner,
+                             wait=True)
+    if status != 0:
+        yield from print_err("migrate: dump on %s failed" % source)
+        return 1
+
+    # -- phase 2: restart on the destination host (fire and forget:
+    #    on success the spawned process *is* the migrated program) -----------
+    restart_args = ["restart", "-p", str(pid), "-h", source]
+    status = yield from _run(destination, local, restart_args,
+                             remote_runner, wait=False)
+    if status != 0:
+        yield from print_err("migrate: restart on %s failed"
+                             % destination)
+        return 1
+    return 0
+
+
+def _run(host, local, command_argv, remote_runner, wait):
+    """Run a command locally or through rsh/migrationd."""
+    if host == local:
+        child = yield ("spawn", "/bin/%s" % command_argv[0],
+                       command_argv)
+    else:
+        runner_argv = [remote_runner, host, " ".join(command_argv)]
+        child = yield ("spawn", "/bin/%s" % remote_runner, runner_argv)
+    if iserr(child):
+        return 1
+    if not wait:
+        return 0
+    while True:
+        result = yield ("wait",)
+        if iserr(result):
+            return 1 if result == -ECHILD else 1
+        reaped, status = result
+        if reaped == child:
+            return (status >> 8) & 0xFF if not status & 0x7F else 1

@@ -1,0 +1,22 @@
+"""``ps`` — the users' way to find the pid to migrate (section 4.2)."""
+
+from repro.errors import iserr
+from repro.programs.base import parse_options, println, print_err
+
+
+def ps_main(argv, env):
+    opts, __ = parse_options(argv, {"-a": False})
+    rows = yield ("getproctab",)
+    if iserr(rows):
+        yield from print_err("ps: cannot read process table")
+        return 1
+    uid = yield ("getuid",)
+    yield from println("  PID STAT    TIME COMMAND")
+    for row in sorted(rows, key=lambda r: r["pid"]):
+        if not opts.get("-a") and row["uid"] != uid and uid != 0:
+            continue
+        seconds = (row["utime_us"] + row["stime_us"]) / 1e6
+        yield from println("%5d %-4s %7.2f %s"
+                           % (row["pid"], row["state"], seconds,
+                              row["command"]))
+    return 0

@@ -1,0 +1,195 @@
+"""The ``restart`` command (sections 4.1 and 4.4).
+
+"Restart a process that was killed on some host with the dumpproc
+command. ... The process will be restarted on the host on which the
+command was given and at the terminal (or window) on which the command
+was typed."
+
+Section 4.4's recipe:
+
+* verify the three dump files exist and check their magic numbers;
+* read the old credentials from stackXXXXX (the only thing read from
+  it at user level) and establish them with setreuid();
+* establish the old current working directory;
+* reopen every file with the right access modes and offset, keeping
+  the fd numbers identical; files that cannot be reopened — and all
+  sockets — become /dev/null, except stdio which falls back to the
+  terminal "so that the user may have some control";
+* close the /dev/null placeholders that only existed to keep fd
+  numbers in order;
+* re-establish the dumped terminal modes on the current terminal;
+* call rest_proc().
+
+The fd juggling below keeps copies of restart's own stdio in the top
+descriptor slots while the table is rebuilt, so that when a dumped
+stdio stream cannot be reattached to a terminal (the rsh case) it can
+at least inherit restart's own channel.
+"""
+
+import struct
+
+from repro.errors import iserr, errno_name, UnixError
+from repro.kernel.constants import (NOFILE, O_ACCMODE, O_APPEND,
+                                    O_RDONLY, O_RDWR, SEEK_SET,
+                                    TIOCSETP)
+from repro.core.formats import (FilesInfo, StackInfo, dump_file_names,
+                                FD_FILE, FD_SOCKET, FD_SOCKET_BOUND)
+from repro.kernel.cred import PACKED_SIZE as CRED_SIZE
+from repro.programs.base import parse_options, print_err, read_file
+from repro.vm.aout import AOUT_MAGIC
+
+USAGE = "usage: restart -p pid [-h host]"
+
+#: descriptor slots used to stash restart's own stdio during rebuild
+_SAVE_BASE = NOFILE - 3
+
+
+def restart_main(argv, env):
+    opts, __ = parse_options(argv, {"-p": True, "-h": True})
+    if not isinstance(opts, dict) or "-p" not in opts:
+        yield from print_err(USAGE)
+        return 1
+    try:
+        pid = int(opts["-p"])
+    except ValueError:
+        yield from print_err(USAGE)
+        return 1
+
+    local = yield ("gethostname",)
+    host = opts.get("-h") or local
+    directory = "/usr/tmp" if host == local \
+        else "/n/%s/usr/tmp" % host
+    aout_path, files_path, stack_path = dump_file_names(pid, directory)
+
+    # -- verify the three files and their magic numbers -------------------
+    magic = yield from _read_prefix(aout_path, 2)
+    if magic is None or struct.unpack("<H", magic)[0] != AOUT_MAGIC:
+        yield from print_err("restart: %s is not a dumped executable"
+                             % aout_path)
+        return 1
+
+    files_blob = yield from read_file(files_path)
+    if iserr(files_blob):
+        yield from print_err("restart: cannot read %s" % files_path)
+        return 1
+    try:
+        info = FilesInfo.unpack(files_blob)
+    except UnixError:
+        yield from print_err("restart: bad magic in %s" % files_path)
+        return 1
+
+    # the credentials are the only thing read from stackXXXXX here
+    header = yield from _read_prefix(stack_path, 2 + CRED_SIZE + 4)
+    if header is None:
+        yield from print_err("restart: cannot read %s" % stack_path)
+        return 1
+    try:
+        cred, __ = StackInfo.peek_header(header)
+    except UnixError:
+        yield from print_err("restart: bad magic in %s" % stack_path)
+        return 1
+
+    # -- adopt the old identity --------------------------------------------
+    result = yield ("setreuid", cred.uid, cred.euid)
+    if iserr(result):
+        yield from print_err("restart: permission denied (%s)"
+                             % errno_name(-result))
+        return 1
+    result = yield ("chdir", info.cwd)
+    if iserr(result):
+        yield from print_err("restart: cannot chdir to %s: %s"
+                             % (info.cwd, errno_name(-result)))
+        return 1
+
+    # -- rebuild the descriptor table ----------------------------------------
+    for save in range(3):
+        yield ("dup2", save, _SAVE_BASE + save)
+    placeholders = []
+    for fd in range(_SAVE_BASE):
+        yield from _restore_slot(fd, info.entries[fd], placeholders,
+                                 saved=True)
+    for save in range(3):
+        yield ("close", _SAVE_BASE + save)
+    for fd in range(_SAVE_BASE, NOFILE):
+        yield from _restore_slot(fd, info.entries[fd], placeholders,
+                                 saved=False)
+    for fd in placeholders:
+        yield ("close", fd)
+
+    # -- terminal modes -----------------------------------------------------------
+    tty_fd = yield ("open", "/dev/tty", O_RDWR, 0)
+    if not iserr(tty_fd):
+        yield ("ioctl", tty_fd, TIOCSETP, info.tty_flags)
+        yield ("close", tty_fd)
+    # (under rsh there is no terminal: modes cannot be preserved)
+
+    # -- section 7 extension: remember who we used to be ---------------------------
+    yield ("set_oldids", pid, info.hostname)
+
+    # -- and go ----------------------------------------------------------------------
+    result = yield ("rest_proc", aout_path, stack_path)
+    # reached only on failure
+    yield from print_err("restart: rest_proc failed: %s"
+                         % errno_name(-result if iserr(result)
+                                      else result))
+    return 1
+
+
+def _read_prefix(path, nbytes):
+    """yield-from: the first bytes of a file, or None."""
+    fd = yield ("open", path, O_RDONLY, 0)
+    if iserr(fd):
+        return None
+    data = yield ("read", fd, nbytes)
+    yield ("close", fd)
+    if iserr(data) or len(data) < nbytes:
+        return None
+    return data
+
+
+def _restore_slot(fd, entry, placeholders, saved):
+    """Install the right object at descriptor ``fd``.
+
+    Relies on open() assigning the lowest free descriptor: slots are
+    rebuilt in ascending order with no holes, so each open lands
+    exactly on ``fd``.
+    """
+    yield ("close", fd)  # whatever we held there (may be EBADF)
+    if entry.kind == FD_FILE and entry.path:
+        flags = entry.flags & (O_ACCMODE | O_APPEND)
+        new_fd = yield ("open", entry.path, flags, 0)
+        if not iserr(new_fd):
+            if entry.path != "/dev/tty":
+                yield ("lseek", new_fd, entry.offset, SEEK_SET)
+            return
+        if fd < 3:
+            # stdio: try the terminal, then restart's own channel
+            new_fd = yield ("open", "/dev/tty", O_RDWR, 0)
+            if not iserr(new_fd):
+                return
+            if saved:
+                new_fd = yield ("dup2", _SAVE_BASE + fd, fd)
+                if not iserr(new_fd):
+                    return
+        yield ("open", "/dev/null", O_RDWR, 0)
+        return
+    if entry.kind == FD_SOCKET_BOUND:
+        # the section 9 extension: re-establish the service endpoint
+        new_fd = yield ("socket",)
+        if not iserr(new_fd):
+            bound = yield ("bind", new_fd, entry.port)
+            if not iserr(bound):
+                if entry.listening:
+                    yield ("listen", new_fd)
+                return
+            yield ("close", new_fd)  # port taken: degrade to null
+        yield ("open", "/dev/null", O_RDWR, 0)
+        return
+    if entry.kind == FD_SOCKET:
+        # sockets (and pipes) cannot be migrated: /dev/null forever
+        yield ("open", "/dev/null", O_RDWR, 0)
+        return
+    # unused slot: a placeholder only, closed again afterwards
+    new_fd = yield ("open", "/dev/null", O_RDWR, 0)
+    if not iserr(new_fd):
+        placeholders.append(new_fd)

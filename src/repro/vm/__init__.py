@@ -1,0 +1,49 @@
+"""A small Motorola-68k-flavoured virtual machine.
+
+This package stands in for the Sun-2 (MC68010) and Sun-3 (MC68020)
+processors of the paper's testbed.  It provides:
+
+* :mod:`repro.vm.isa` — the instruction set and the two CPU models,
+  where the 68020's instruction set is a strict superset of the
+  68010's (the paper's one-way heterogeneity constraint);
+* :mod:`repro.vm.image` — a process image: segmented memory plus the
+  register file, i.e. exactly the state the migration mechanism must
+  capture and restore;
+* :mod:`repro.vm.aout` — the ``a.out`` executable format used both for
+  programs on disk and for the ``a.outXXXXX`` dump file;
+* :mod:`repro.vm.assembler` — a two-pass assembler so guest programs
+  can be written as readable assembly source;
+* :mod:`repro.vm.cpu` — the interpreter, with syscall traps and
+  machine faults (illegal instruction, segmentation violation);
+* :mod:`repro.vm.disasm` — a disassembler used by tests and debugging.
+"""
+
+from repro.vm.isa import MC68010, MC68020, cpu_model, Op, Mode
+from repro.vm.image import ProcessImage, Registers, SegmentationFault
+from repro.vm.aout import AOutHeader, build_aout, parse_aout, AOUT_MAGIC
+from repro.vm.assembler import assemble, AssemblyError
+from repro.vm.cpu import CPU, TrapStop, FaultStop, QuantumStop, HaltStop
+from repro.vm.disasm import disassemble
+
+__all__ = [
+    "MC68010",
+    "MC68020",
+    "cpu_model",
+    "Op",
+    "Mode",
+    "ProcessImage",
+    "Registers",
+    "SegmentationFault",
+    "AOutHeader",
+    "build_aout",
+    "parse_aout",
+    "AOUT_MAGIC",
+    "assemble",
+    "AssemblyError",
+    "CPU",
+    "TrapStop",
+    "FaultStop",
+    "QuantumStop",
+    "HaltStop",
+    "disassemble",
+]

@@ -1,0 +1,314 @@
+"""The CPU interpreter.
+
+:meth:`CPU.run` executes instructions from a
+:class:`~repro.vm.image.ProcessImage` until one of four things stops
+it: the quantum is exhausted, the program executes ``trap`` (a system
+call), the program faults (illegal instruction, segmentation
+violation, divide by zero), or it executes ``halt`` (which user-mode
+code is not allowed to do and is treated as a privilege fault by the
+kernel).
+
+Faults are reported as stop reasons, not Python exceptions, because
+they are ordinary machine behaviour the kernel turns into signals —
+e.g. running a 68020 binary on a 68010 stops with an
+illegal-instruction fault, reproducing the paper's heterogeneity
+crash.
+"""
+
+from repro.vm import isa
+from repro.vm.isa import Op, Mode
+from repro.vm.image import SegmentationFault, to_signed, to_unsigned
+
+
+class Stop:
+    """Base class for reasons the interpreter returned."""
+
+    def __init__(self, executed):
+        self.executed = executed  #: number of instructions retired
+
+    def __repr__(self):
+        return "%s(executed=%d)" % (type(self).__name__, self.executed)
+
+
+class QuantumStop(Stop):
+    """The instruction budget ran out; the process is still runnable."""
+
+
+class TrapStop(Stop):
+    """A ``trap`` instruction was executed (system call request)."""
+
+
+class HaltStop(Stop):
+    """A ``halt`` instruction was executed (user-mode privilege fault)."""
+
+
+class FaultStop(Stop):
+    """A machine fault; ``kind`` is ``"ill"``, ``"segv"`` or ``"fpe"``."""
+
+    def __init__(self, executed, kind, address=None):
+        super().__init__(executed)
+        self.kind = kind
+        self.address = address
+
+    def __repr__(self):
+        return "FaultStop(kind=%s, executed=%d)" % (self.kind,
+                                                    self.executed)
+
+
+_ALU_OPS = {Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR,
+            Op.XOR, Op.SHL, Op.SHR, Op.MULL, Op.DIVL, Op.BFEXT}
+
+
+class CPU:
+    """Interpreter for one CPU model."""
+
+    def __init__(self, model):
+        self.model = isa.cpu_model(model)
+
+    # -- operand helpers -------------------------------------------------
+
+    def _address(self, image, mode, operand):
+        """Effective address for memory modes and jump targets."""
+        regs = image.regs
+        if mode in (Mode.IMM, Mode.ABS):
+            return operand
+        if mode == Mode.DREG:
+            return regs.d[operand & 7]
+        if mode == Mode.AREG:
+            return regs.a[operand & 7]
+        if mode == Mode.IND:
+            return regs.a[operand & 7]
+        if mode == Mode.IND_DISP:
+            disp, reg = isa.unpack_ind_disp(operand)
+            return regs.a[reg] + disp
+        raise SegmentationFault(operand, "bad addressing mode %d" % mode)
+
+    def _value(self, image, mode, operand, byte=False):
+        regs = image.regs
+        if mode == Mode.IMM:
+            return (operand & 0xFF) if byte else operand
+        if mode == Mode.DREG:
+            return (regs.d[operand & 7] & 0xFF) if byte \
+                else regs.d[operand & 7]
+        if mode == Mode.AREG:
+            return (regs.a[operand & 7] & 0xFF) if byte \
+                else regs.a[operand & 7]
+        address = self._address(image, mode, operand)
+        if byte:
+            return image.read_u8(address)
+        return image.read_i32(address)
+
+    def _store(self, image, mode, operand, value, byte=False):
+        regs = image.regs
+        if mode == Mode.IMM:
+            raise SegmentationFault(operand, "store to immediate")
+        if mode == Mode.DREG:
+            regs.d[operand & 7] = (value & 0xFF) if byte \
+                else to_signed(value)
+            return
+        if mode == Mode.AREG:
+            regs.a[operand & 7] = (value & 0xFF) if byte \
+                else to_signed(value)
+            return
+        address = self._address(image, mode, operand)
+        if byte:
+            image.write_u8(address, value)
+        else:
+            image.write_i32(address, value)
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, image, max_instructions):
+        """Execute until a stop condition; returns a :class:`Stop`."""
+        executed = 0
+        regs = image.regs
+        # per-image instruction-decode cache, keyed on text_version so
+        # self-modifying code stays correct
+        cache = image._decode_cache
+        if cache is None or cache[0] != image.text_version:
+            cache = (image.text_version, {})
+            image._decode_cache = cache
+        decoded = cache[1]
+        supports = self.model.opcodes.__contains__
+        isize = isa.INSTRUCTION_SIZE
+        d = regs.d
+        a = regs.a
+        try:
+            while executed < max_instructions:
+                pc = regs.pc
+                inst = decoded.get(pc)
+                if inst is None:
+                    if pc < image.text_base or \
+                            pc + isize > image.mem_size:
+                        return FaultStop(executed, "segv", pc)
+                    inst = isa.decode(image.mem, pc)
+                    decoded[pc] = inst
+                opcode, src_mode, src, dst_mode, dst = inst
+                if not supports(opcode):
+                    return FaultStop(executed, "ill", pc)
+                regs.pc = pc + isize
+                executed += 1
+
+                # ---- hot paths: register/immediate operands ----------
+                if Op.ADD <= opcode <= Op.SHR and dst_mode == 1 \
+                        and src_mode <= 1 and opcode != Op.NOT \
+                        and opcode != Op.NEG:
+                    # register fields are 3 bits wide, like hardware
+                    rhs = src if src_mode == 0 else d[src & 7]
+                    lhs = d[dst & 7]
+                    if opcode == Op.ADD:
+                        value = lhs + rhs
+                    elif opcode == Op.SUB:
+                        value = lhs - rhs
+                    elif opcode == Op.MUL:
+                        value = lhs * rhs
+                    else:
+                        value = self._alu(opcode, lhs, rhs)
+                        if value is None:
+                            regs.pc = pc
+                            return FaultStop(executed, "fpe", pc)
+                    if value > 2147483647 or value < -2147483648:
+                        value = to_signed(to_unsigned(value))
+                    d[dst & 7] = value
+                    regs.zf = value == 0
+                    regs.nf = value < 0
+                    continue
+                if opcode == Op.MOVE and src_mode <= 1 \
+                        and 1 <= dst_mode <= 2:
+                    value = src if src_mode == 0 else d[src & 7]
+                    if dst_mode == 1:
+                        d[dst & 7] = value
+                    else:
+                        a[dst & 7] = value
+                    regs.zf = value == 0
+                    regs.nf = value < 0
+                    continue
+                if opcode == Op.CMP and src_mode <= 1 and dst_mode == 1:
+                    rhs = src if src_mode == 0 else d[src & 7]
+                    value = d[dst & 7] - rhs
+                    if value > 2147483647 or value < -2147483648:
+                        value = to_signed(to_unsigned(value))
+                    regs.zf = value == 0
+                    regs.nf = value < 0
+                    continue
+                if Op.BRA <= opcode <= Op.BGE and src_mode in (0, 3):
+                    if self._branch_taken(opcode, regs):
+                        regs.pc = src
+                    continue
+                # ---- general paths -----------------------------------
+
+                if opcode == Op.NOP:
+                    continue
+                if opcode == Op.HALT:
+                    return HaltStop(executed)
+                if opcode == Op.TRAP:
+                    return TrapStop(executed)
+                if opcode == Op.MOVE:
+                    value = self._value(image, src_mode, src)
+                    self._store(image, dst_mode, dst, value)
+                    regs.set_flags(value)
+                elif opcode == Op.MOVB:
+                    value = self._value(image, src_mode, src, byte=True)
+                    self._store(image, dst_mode, dst, value, byte=True)
+                    regs.set_flags(value)
+                elif opcode == Op.LEA:
+                    address = self._address(image, src_mode, src)
+                    if dst_mode != Mode.AREG:
+                        return FaultStop(executed - 1, "ill", pc)
+                    regs.a[dst] = to_signed(address)
+                elif opcode in _ALU_OPS:
+                    rhs = self._value(image, src_mode, src)
+                    lhs = self._value(image, dst_mode, dst)
+                    result = self._alu(opcode, lhs, rhs)
+                    if result is None:
+                        regs.pc = pc  # refetch on resume (process dies)
+                        return FaultStop(executed, "fpe", pc)
+                    result = to_signed(to_unsigned(result))
+                    self._store(image, dst_mode, dst, result)
+                    regs.set_flags(result)
+                elif opcode == Op.NOT:
+                    value = ~self._value(image, dst_mode, dst)
+                    value = to_signed(to_unsigned(value))
+                    self._store(image, dst_mode, dst, value)
+                    regs.set_flags(value)
+                elif opcode == Op.NEG:
+                    value = -self._value(image, dst_mode, dst)
+                    value = to_signed(to_unsigned(value))
+                    self._store(image, dst_mode, dst, value)
+                    regs.set_flags(value)
+                elif opcode == Op.CMP:
+                    rhs = self._value(image, src_mode, src)
+                    lhs = self._value(image, dst_mode, dst)
+                    regs.set_flags(to_signed(to_unsigned(lhs - rhs)))
+                elif opcode == Op.TST:
+                    regs.set_flags(self._value(image, dst_mode, dst))
+                elif opcode in isa.BRANCHES:
+                    if self._branch_taken(opcode, regs):
+                        regs.pc = self._address(image, src_mode, src)
+                elif opcode == Op.JSR:
+                    target = self._address(image, src_mode, src)
+                    image.push_i32(regs.pc)
+                    regs.pc = target
+                elif opcode == Op.RTS:
+                    regs.pc = to_unsigned(image.pop_i32())
+                elif opcode == Op.PUSH:
+                    image.push_i32(self._value(image, src_mode, src))
+                elif opcode == Op.POP:
+                    self._store(image, dst_mode, dst, image.pop_i32())
+                else:  # pragma: no cover - opcode table is exhaustive
+                    return FaultStop(executed - 1, "ill", pc)
+        except SegmentationFault as fault:
+            return FaultStop(executed, "segv", fault.address)
+        return QuantumStop(executed)
+
+    @staticmethod
+    def _alu(opcode, lhs, rhs):
+        if opcode == Op.ADD:
+            return lhs + rhs
+        if opcode == Op.SUB:
+            return lhs - rhs
+        if opcode in (Op.MUL, Op.MULL):
+            return lhs * rhs
+        if opcode in (Op.DIV, Op.DIVL):
+            if rhs == 0:
+                return None
+            quotient = abs(lhs) // abs(rhs)
+            return quotient if (lhs < 0) == (rhs < 0) else -quotient
+        if opcode == Op.MOD:
+            if rhs == 0:
+                return None
+            quotient = abs(lhs) // abs(rhs)
+            if (lhs < 0) != (rhs < 0):
+                quotient = -quotient
+            return lhs - quotient * rhs
+        if opcode == Op.AND:
+            return to_unsigned(lhs) & to_unsigned(rhs)
+        if opcode == Op.OR:
+            return to_unsigned(lhs) | to_unsigned(rhs)
+        if opcode == Op.XOR:
+            return to_unsigned(lhs) ^ to_unsigned(rhs)
+        if opcode == Op.SHL:
+            return to_unsigned(lhs) << (rhs & 31)
+        if opcode == Op.SHR:
+            return to_unsigned(lhs) >> (rhs & 31)
+        if opcode == Op.BFEXT:
+            return (to_unsigned(lhs) >> (rhs & 31)) & 0xFF
+        raise AssertionError("not an ALU opcode: %d" % opcode)
+
+    @staticmethod
+    def _branch_taken(opcode, regs):
+        if opcode == Op.BRA:
+            return True
+        if opcode == Op.BEQ:
+            return regs.zf
+        if opcode == Op.BNE:
+            return not regs.zf
+        if opcode == Op.BLT:
+            return regs.nf
+        if opcode == Op.BLE:
+            return regs.nf or regs.zf
+        if opcode == Op.BGT:
+            return not (regs.nf or regs.zf)
+        if opcode == Op.BGE:
+            return not regs.nf
+        raise AssertionError("not a branch: %d" % opcode)

@@ -1,0 +1,58 @@
+"""Disassembler for debugging and tests."""
+
+from repro.vm import isa
+from repro.vm.isa import Mode, Op
+
+
+def _operand_str(mode, operand):
+    if mode == Mode.IMM:
+        return "#%d" % operand
+    if mode == Mode.DREG:
+        return "d%d" % operand
+    if mode == Mode.AREG:
+        return "sp" if operand == 7 else "a%d" % operand
+    if mode == Mode.ABS:
+        return "0x%x" % operand
+    if mode == Mode.IND:
+        return "(a%d)" % operand
+    if mode == Mode.IND_DISP:
+        disp, reg = isa.unpack_ind_disp(operand)
+        return "%d(a%d)" % (disp, reg)
+    return "?%d:%d" % (mode, operand)
+
+
+def disassemble_one(blob, offset=0, address=None):
+    """Disassemble the instruction at ``offset``; returns a string."""
+    opcode, src_mode, src, dst_mode, dst = isa.decode(blob, offset)
+    name = isa.OP_NAMES.get(opcode, "db 0x%02x" % opcode)
+    if opcode in isa.ZERO_OPERAND:
+        text = name
+    elif opcode in isa.ONE_OPERAND_SRC:
+        if opcode in isa.BRANCHES or opcode == Op.JSR:
+            text = "%s %s" % (name, _operand_str(Mode.ABS, src)
+                              if src_mode in (Mode.IMM, Mode.ABS)
+                              else _operand_str(src_mode, src))
+        else:
+            text = "%s %s" % (name, _operand_str(src_mode, src))
+    elif opcode in isa.ONE_OPERAND_DST:
+        text = "%s %s" % (name, _operand_str(dst_mode, dst))
+    else:
+        text = "%s %s, %s" % (name, _operand_str(src_mode, src),
+                              _operand_str(dst_mode, dst))
+    if address is not None:
+        text = "0x%06x: %s" % (address, text)
+    return text
+
+
+def disassemble(blob, base=0x1000, count=None):
+    """Disassemble a text segment; returns a list of lines."""
+    lines = []
+    offset = 0
+    emitted = 0
+    while offset + isa.INSTRUCTION_SIZE <= len(blob):
+        if count is not None and emitted >= count:
+            break
+        lines.append(disassemble_one(blob, offset, base + offset))
+        offset += isa.INSTRUCTION_SIZE
+        emitted += 1
+    return lines

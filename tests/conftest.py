@@ -1,0 +1,51 @@
+"""Shared fixtures: single machines, clusters, and the full site."""
+
+import pytest
+
+from repro.core.api import MigrationSite
+from repro.machine import Cluster
+from repro.programs import install_standard_programs
+
+
+@pytest.fixture
+def cluster():
+    """A bare two-workstation + file-server cluster, no programs."""
+    cluster = Cluster()
+    cluster.add_machine("brick")
+    cluster.add_machine("schooner")
+    cluster.add_machine("brador")
+    return cluster
+
+
+@pytest.fixture
+def brick(cluster):
+    return cluster.machine("brick")
+
+
+@pytest.fixture
+def site():
+    """The full paper testbed with programs and daemons."""
+    site = MigrationSite()
+    site.run_quiet()
+    return site
+
+
+def run_native(machine, factory, argv=None, uid=0, name="testprog",
+               cwd="/tmp"):
+    """Install + run a one-off native program; returns (handle, ret).
+
+    The generator's return value is its exit status; output goes to
+    the machine console.
+    """
+    machine.install_native_program(name, factory)
+    handle = machine.spawn("/bin/%s" % name, argv or [name], uid=uid,
+                           cwd=cwd)
+    machine.cluster.run_until(lambda: handle.exited)
+    return handle
+
+
+def start_counter(site, host="brick", uid=100):
+    """Start the paper's test program and bring it to its prompt."""
+    handle = site.start(host, "/bin/counter", uid=uid)
+    site.run_until(lambda: site.console(host).count("> ") >= 1)
+    return handle

@@ -1,0 +1,123 @@
+"""Public API surface and syscall-dispatch edge cases."""
+
+import pytest
+
+from repro.errors import EINVAL
+from tests.conftest import run_native
+
+
+def test_top_level_exports():
+    import repro
+    assert repro.__version__
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+    site = repro.MigrationSite(daemons=False)
+    assert site.cluster.hosts() == ["brador", "brick", "schooner"]
+    assert repro.MigrationManager is repro.MigrationSite
+
+
+def test_costmodel_flags_reachable_from_site():
+    import repro
+    costs = repro.CostModel(track_names=False)
+    site = repro.MigrationSite(costs=costs, daemons=False)
+    assert not site.machine("brick").costs.track_names
+
+
+def test_vm_bad_syscall_number_sets_einval(brick, cluster):
+    from repro.programs.guest.libasm import program
+    src = program("""
+start:  move  #9999, d0
+        trap
+        move  d1, d6            ; errno
+        move  d0, d7            ; result
+        move  #SYS_exit, d0
+        move  #0, d1
+        trap
+""")
+    brick.install_aout("badcall", src.aout)
+    handle = brick.spawn("/bin/badcall", uid=100)
+    cluster.run_until(lambda: handle.exited)
+    assert handle.proc.image.image.regs.d[7] == -1
+    assert handle.proc.image.image.regs.d[6] == EINVAL
+
+
+def test_native_unknown_request_is_einval(brick, cluster):
+    out = []
+
+    def prog(argv, env):
+        out.append((yield ("frobnicate", 1, 2)))
+        out.append((yield "not-even-a-tuple"))
+        return 0
+
+    run_native(brick, prog)
+    assert out == [-EINVAL, -EINVAL]
+
+
+def test_vm_only_syscall_from_native_is_einval(brick, cluster):
+    out = []
+
+    def prog(argv, env):
+        out.append((yield ("sbrk", 4096)))  # VM-only
+        return 0
+
+    run_native(brick, prog)
+    assert out == [-EINVAL]
+
+
+def test_native_only_request_from_vm_is_rejected(brick, cluster):
+    """spawn/getproctab have no VM trap numbers at all."""
+    from repro.kernel.syscalls import NR
+    assert "spawn" not in NR
+    assert "getproctab" not in NR
+
+
+def test_efault_on_bad_guest_pointer(brick, cluster):
+    from repro.errors import EFAULT
+    from repro.programs.guest.libasm import program
+    src = program("""
+start:  move  #SYS_open, d0
+        move  #0x7FFFFFF0, d1   ; far outside the address space
+        move  #O_RDONLY, d2
+        move  #0, d3
+        trap
+        move  d1, d6
+        move  #SYS_exit, d0
+        move  #0, d1
+        trap
+""")
+    brick.install_aout("badptr", src.aout)
+    handle = brick.spawn("/bin/badptr", uid=100)
+    cluster.run_until(lambda: handle.exited)
+    assert handle.proc.image.image.regs.d[6] == EFAULT
+
+
+def test_run_command_respects_cwd(site):
+    status = site.run_command("brick", ["pwd"], uid=100,
+                              cwd="/usr/tmp")
+    assert status == 0
+    assert "/usr/tmp" in site.console("brick")
+
+
+def test_site_with_custom_workstations():
+    from repro.core.api import MigrationSite
+    site = MigrationSite(workstations=("alpha", "beta", "gamma"),
+                         server="omega", daemons=False)
+    assert site.cluster.hosts() == ["alpha", "beta", "gamma", "omega"]
+    handle = site.start("alpha", "/bin/counter", uid=100)
+    site.run_until(lambda: "> " in site.console("alpha"))
+    site.dumpproc("alpha", handle.pid, uid=100)
+    moved = site.restart("gamma", handle.pid, from_host="alpha",
+                         uid=100)
+    assert moved.proc.is_vm()
+
+
+def test_kernel_log_records_migration_events(site):
+    from tests.conftest import start_counter
+    handle = start_counter(site)
+    site.dumpproc("brick", handle.pid, uid=100)
+    assert any("SIGDUMP: pid %d dumped" % handle.pid in line
+               for line in site.machine("brick").kernel.messages)
+    moved = site.restart("schooner", handle.pid, from_host="brick",
+                         uid=100)
+    assert any("rest_proc: pid %d resumed" % moved.pid in line
+               for line in site.machine("schooner").kernel.messages)

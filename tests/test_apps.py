@@ -1,0 +1,209 @@
+"""Tests for the section 8 applications."""
+
+import pytest
+
+from repro.apps import (CheckpointManager, LoadBalancer,
+                        LoadBalancerPolicy, NightBatchScheduler)
+from repro.core.api import MigrationSite
+from repro.programs.guest.cpuhog import expected_checksum
+from tests.conftest import start_counter
+
+
+# -- checkpointing ---------------------------------------------------------
+
+
+def test_checkpoint_and_resume(site):
+    handle = start_counter(site)
+    site.type_at("brick", "one\n")
+    site.run_until(lambda: site.console("brick").count("> ") >= 2)
+    manager = CheckpointManager(site, "brick", uid=100)
+    record, resumed = manager.checkpoint(handle.pid)
+    assert record.index == 0
+    assert resumed.proc.is_vm()
+    # the job continues where it was
+    site.type_at("brick", "two\n")
+    site.run_until(lambda: "r=3 s=3 k=3" in site.console("brick"))
+
+
+def test_checkpoint_archives_dump_and_files(site):
+    handle = start_counter(site)
+    site.type_at("brick", "one\n")
+    site.run_until(lambda: site.console("brick").count("> ") >= 2)
+    manager = CheckpointManager(site, "brick", uid=100)
+    record, __ = manager.checkpoint(handle.pid)
+    brick = site.machine("brick")
+    for path in record.saved_dump_names():
+        assert brick.fs.read_file(path)
+    # the open output file was snapshotted
+    copies = {orig.split("/")[-1]: saved
+              for orig, saved in record.file_copies.items()}
+    assert "counter.out" in copies
+    assert brick.fs.read_file(copies["counter.out"]) == b"one\n"
+
+
+def test_restore_nth_checkpoint_with_file_rollback(site):
+    """Restore an old checkpoint: the data file is rolled back so the
+    program sees a consistent world (the paper's whole point)."""
+    handle = start_counter(site)
+    manager = CheckpointManager(site, "brick", uid=100)
+
+    site.type_at("brick", "one\n")
+    site.run_until(lambda: site.console("brick").count("> ") >= 2)
+    ck0, resumed = manager.checkpoint(handle.pid)
+
+    site.type_at("brick", "two\n")
+    site.run_until(lambda: "r=3" in site.console("brick"))
+    brick = site.machine("brick")
+    assert brick.fs.read_file("/tmp/counter.out") == b"one\ntwo\n"
+    # kill the live process (the "crash")
+    from repro.kernel.signals import SIGKILL
+    brick.kernel.post_signal(resumed.proc, SIGKILL)
+    site.run_until(lambda: resumed.exited)
+
+    # restore checkpoint 0: file content rolled back to "one\n"
+    revived = manager.restore(0)
+    assert revived.proc.is_vm()
+    assert brick.fs.read_file("/tmp/counter.out") == b"one\n"
+    brick.console.clear_output()
+    site.type_at("brick", "again\n")
+    site.run_until(lambda: "r=3 s=3 k=3" in site.console("brick"))
+    assert brick.fs.read_file("/tmp/counter.out") == b"one\nagain\n"
+
+
+def test_restore_on_another_machine(site):
+    handle = start_counter(site)
+    site.type_at("brick", "one\n")
+    site.run_until(lambda: site.console("brick").count("> ") >= 2)
+    manager = CheckpointManager(site, "brick", uid=100)
+    ck, resumed = manager.checkpoint(handle.pid)
+    from repro.kernel.signals import SIGKILL
+    site.machine("brick").kernel.post_signal(resumed.proc, SIGKILL)
+    site.run_until(lambda: resumed.exited)
+    revived = manager.restore(ck, host="schooner")
+    assert revived.proc.is_vm()
+    site.type_at("schooner", "two\n")
+    site.run_until(lambda: "r=3 s=3 k=3" in site.console("schooner"))
+
+
+def test_multiple_checkpoints_accumulate(site):
+    handle = start_counter(site)
+    manager = CheckpointManager(site, "brick", uid=100)
+    pid = handle.pid
+    for round_no in range(3):
+        site.type_at("brick", "x\n")
+        site.run_until(
+            lambda: site.console("brick").count("> ") >= round_no + 2)
+        record, resumed = manager.checkpoint(pid)
+        pid = resumed.pid
+    assert [c.index for c in manager.checkpoints] == [0, 1, 2]
+
+
+# -- load balancing ----------------------------------------------------------------
+
+
+def hog(site, host, iters, uid=100):
+    handle = site.start(host, "/bin/cpuhog",
+                        ["cpuhog", str(iters)], uid=uid)
+    return handle
+
+
+def test_balancer_measures_load(site):
+    balancer = LoadBalancer(site, ["brick", "schooner"], uid=100)
+    assert balancer.loads() == {"brick": 0, "schooner": 0}
+    hog(site, "brick", 400_000)
+    hog(site, "brick", 400_000)
+    assert balancer.load_of("brick") == 2
+    assert balancer.load_of("schooner") == 0
+
+
+def test_balancer_moves_old_enough_jobs(site):
+    balancer = LoadBalancer(
+        site, ["brick", "schooner"], uid=100,
+        policy=LoadBalancerPolicy(min_cpu_seconds=0.2,
+                                  imbalance_threshold=2))
+    h1 = hog(site, "brick", 3_000_000)
+    h2 = hog(site, "brick", 3_000_000)
+    # too young: nothing moves
+    assert balancer.step() == []
+    # let them accumulate CPU
+    site.run(until_us=site.cluster.wall_time_us() + 1_000_000)
+    moves = balancer.step()
+    assert len(moves) == 1
+    assert moves[0].source == "brick"
+    assert moves[0].destination == "schooner"
+    assert balancer.loads() == {"brick": 1, "schooner": 1}
+
+
+def test_balancing_preserves_results(site):
+    """A migrated hog computes the same checksum it would have."""
+    iters = 600_000
+    h1 = hog(site, "brick", iters)
+    h2 = hog(site, "brick", iters)
+    site.run(until_us=site.cluster.wall_time_us() + 1_500_000)
+    balancer = LoadBalancer(
+        site, ["brick", "schooner"], uid=100,
+        policy=LoadBalancerPolicy(min_cpu_seconds=0.2))
+    moves = balancer.step()
+    assert moves
+    moved = moves[0].new_proc
+    site.run_until(lambda: moved.zombie(), max_steps=10_000_000)
+    expected = "checksum=%d" % expected_checksum(iters)
+    assert expected in site.console("schooner")
+
+
+def test_balancing_improves_makespan():
+    """Two hogs on one machine finish sooner if one is moved —
+    the paper's future-work 'systemwide application' measurement."""
+    iters = 800_000
+
+    def run_one(balance):
+        site = MigrationSite(daemons=False)
+        h1 = hog(site, "brick", iters)
+        h2 = hog(site, "brick", iters)
+        site.run(until_us=500_000)
+        if balance:
+            balancer = LoadBalancer(
+                site, ["brick", "schooner"], uid=100,
+                policy=LoadBalancerPolicy(min_cpu_seconds=0.1))
+            assert balancer.step()
+        site.run_until(lambda: h1.exited and all(
+            p.zombie() or not p.is_vm()
+            for m in site.cluster.machines.values()
+            for p in m.kernel.procs.all_procs()),
+            max_steps=30_000_000)
+        return site.wall_seconds()
+
+    unbalanced = run_one(False)
+    balanced = run_one(True)
+    assert balanced < unbalanced * 0.75
+
+
+# -- night batch ------------------------------------------------------------------------
+
+
+def test_nightfall_spreads_and_daybreak_corrals(site):
+    sched = NightBatchScheduler(site, "brador",
+                                ["brick", "schooner"], uid=100)
+    jobs = [sched.submit("/bin/cpuhog", ["cpuhog", "5000000"])
+            for __ in range(4)]
+    site.run(until_us=site.cluster.wall_time_us() + 500_000)
+    assert sched.placement() == {"brador": 4}
+
+    moved = sched.nightfall()
+    assert moved == 4
+    assert sched.placement() == {"brick": 2, "schooner": 2}
+
+    site.run(until_us=site.cluster.wall_time_us() + 500_000)
+    moved = sched.daybreak()
+    assert moved == 4
+    assert sched.placement() == {"brador": 4}
+    # jobs still alive and computing after two moves each
+    assert all(job.moves == 2 for job in sched.jobs)
+    assert all(job.alive for job in sched.jobs)
+
+
+def test_finished_jobs_are_not_moved(site):
+    sched = NightBatchScheduler(site, "brador", ["brick"], uid=100)
+    job = sched.submit("/bin/cpuhog", ["cpuhog", "1000"])
+    site.run_until(lambda: job.proc.zombie())
+    assert sched.nightfall() == 0

@@ -1,0 +1,170 @@
+"""Tests (incl. property-based) for the dump file formats."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UnixError
+from repro.kernel.constants import NOFILE, FILES_MAGIC, STACK_MAGIC
+from repro.kernel.cred import Credentials
+from repro.kernel.signals import SigState, SIGUSR1, SIGTERM, SIG_IGN, NSIG
+from repro.core.formats import (FdEntry, FilesInfo, StackInfo,
+                                FD_FILE, FD_SOCKET, FD_SOCKET_BOUND,
+                                FD_UNUSED, dump_file_names)
+from repro.vm.image import Registers
+
+
+def test_dump_file_names():
+    assert dump_file_names(1234) == ("/usr/tmp/a.out1234",
+                                     "/usr/tmp/files1234",
+                                     "/usr/tmp/stack1234")
+    assert dump_file_names(7, "/n/brick/usr/tmp")[0] == \
+        "/n/brick/usr/tmp/a.out7"
+
+
+def test_files_info_roundtrip():
+    entries = [FdEntry() for __ in range(NOFILE)]
+    entries[0] = FdEntry(FD_FILE, "/dev/console", 2, 0)
+    entries[3] = FdEntry(FD_FILE, "/tmp/counter.out", 0o1011, 42)
+    entries[5] = FdEntry(FD_SOCKET)
+    info = FilesInfo("brick", "/u/alonso/work", entries, 0o30)
+    back = FilesInfo.unpack(info.pack())
+    assert back.hostname == "brick"
+    assert back.cwd == "/u/alonso/work"
+    assert back.tty_flags == 0o30
+    assert back.entries == entries
+
+
+def test_files_info_bad_magic():
+    blob = FilesInfo("x", "/").pack()
+    corrupted = b"\x00\x00" + blob[2:]
+    with pytest.raises(UnixError):
+        FilesInfo.unpack(corrupted)
+
+
+def test_files_info_truncated():
+    blob = FilesInfo("brick", "/tmp").pack()
+    with pytest.raises(UnixError):
+        FilesInfo.unpack(blob[:10])
+
+
+def test_files_magic_is_0445():
+    blob = FilesInfo("x", "/").pack()
+    assert int.from_bytes(blob[:2], "little") == 0o445 == FILES_MAGIC
+
+
+def test_stack_magic_is_0444():
+    blob = StackInfo().pack()
+    assert int.from_bytes(blob[:2], "little") == 0o444 == STACK_MAGIC
+
+
+def test_stack_info_roundtrip():
+    regs = Registers()
+    regs.d = list(range(8))
+    regs.a = [16 * i for i in range(8)]
+    regs.pc = 0x1234
+    regs.zf = True
+    sig = SigState()
+    sig.set_handler(SIGUSR1, 0x2000)
+    sig.set_handler(SIGTERM, SIG_IGN)
+    info = StackInfo(Credentials(100, 10, 100, 10),
+                     b"\x01\x02\x03\x04" * 10, regs, sig)
+    back = StackInfo.unpack(info.pack())
+    assert back.cred == info.cred
+    assert back.stack == info.stack
+    assert back.registers == regs
+    assert back.sigstate.handlers[SIGUSR1] == 0x2000
+    assert back.sigstate.handlers[SIGTERM] == SIG_IGN
+
+
+def test_stack_peek_header():
+    info = StackInfo(Credentials(7, 8, 9, 10), b"S" * 99)
+    cred, size = StackInfo.peek_header(info.pack())
+    assert cred == Credentials(7, 8, 9, 10)
+    assert size == 99
+
+
+def test_stack_bad_magic():
+    with pytest.raises(UnixError):
+        StackInfo.unpack(b"\xff\xff" + b"\x00" * 64)
+    with pytest.raises(UnixError):
+        StackInfo.peek_header(b"\xff\xff" + b"\x00" * 64)
+
+
+def test_uncatchable_signals_forced_default_on_restore():
+    """A tampered stack file cannot smuggle a SIGKILL handler in."""
+    from repro.kernel.signals import SIGKILL, SIGDUMP, SIG_DFL
+    sig = SigState()
+    blob = bytearray(sig.pack())
+    import struct
+    struct.pack_into("<i", blob, 4 * SIGKILL, 0xDEAD)
+    struct.pack_into("<i", blob, 4 * SIGDUMP, 0xBEEF)
+    back = SigState.unpack(bytes(blob))
+    assert back.handlers[SIGKILL] == SIG_DFL
+    assert back.handlers[SIGDUMP] == SIG_DFL
+
+
+# -- property-based tests ---------------------------------------------------
+
+_path = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126,
+                           exclude_characters='"'),
+    min_size=1, max_size=80).map(lambda s: "/" + s)
+
+_fd_entry = st.one_of(
+    st.just(FdEntry(FD_UNUSED)),
+    st.just(FdEntry(FD_SOCKET)),
+    st.builds(FdEntry, st.just(FD_FILE), _path,
+              st.integers(0, 0o7777), st.integers(0, 1 << 30)),
+    st.builds(lambda port, listening: FdEntry(
+        FD_SOCKET_BOUND, port=port, listening=listening),
+        st.integers(1, 65535), st.booleans()),
+)
+
+
+@given(hostname=st.text(alphabet="abcdefgh", min_size=1, max_size=16),
+       cwd=_path,
+       entries=st.lists(_fd_entry, min_size=NOFILE, max_size=NOFILE),
+       tty_flags=st.integers(0, 0xFFFF))
+@settings(max_examples=60)
+def test_files_info_roundtrip_property(hostname, cwd, entries,
+                                       tty_flags):
+    info = FilesInfo(hostname, cwd, entries, tty_flags)
+    back = FilesInfo.unpack(info.pack())
+    assert back.hostname == hostname
+    assert back.cwd == cwd
+    assert back.entries == entries
+    assert back.tty_flags == tty_flags
+
+
+@given(stack=st.binary(max_size=2048),
+       d=st.lists(st.integers(-(2 ** 31), 2 ** 31 - 1),
+                  min_size=8, max_size=8),
+       a=st.lists(st.integers(-(2 ** 31), 2 ** 31 - 1),
+                  min_size=8, max_size=8),
+       pc=st.integers(0, 2 ** 32 - 1),
+       uid=st.integers(0, 2 ** 16), gid=st.integers(0, 2 ** 16))
+@settings(max_examples=60)
+def test_stack_info_roundtrip_property(stack, d, a, pc, uid, gid):
+    regs = Registers()
+    regs.d = d
+    regs.a = a
+    regs.pc = pc
+    info = StackInfo(Credentials(uid, gid), stack, regs)
+    back = StackInfo.unpack(info.pack())
+    assert back.stack == stack
+    assert back.registers.d == d
+    assert back.registers.a == a
+    assert back.registers.pc == pc
+    assert back.cred.uid == uid
+
+
+@given(blob=st.binary(max_size=300))
+@settings(max_examples=80)
+def test_unpack_never_crashes_unstructured(blob):
+    """Garbage input must raise UnixError, never anything else."""
+    for parser in (FilesInfo.unpack, StackInfo.unpack,
+                   StackInfo.peek_header):
+        try:
+            parser(blob)
+        except UnixError:
+            pass

@@ -1,0 +1,182 @@
+"""Tests for the inode filesystem."""
+
+import pytest
+
+from repro.errors import (UnixError, ENOENT, EEXIST, ENOTDIR, EISDIR,
+                          ENOTEMPTY)
+from repro.fs import FileSystem, IFREG, IFDIR, IFLNK, IFCHR
+
+
+@pytest.fixture
+def fs():
+    return FileSystem("brick")
+
+
+def test_root_is_its_own_parent(fs):
+    assert fs.root.parent is fs.root
+    assert fs.lookup(fs.root, "..") is fs.root
+
+
+def test_create_and_lookup(fs):
+    inode = fs.create(fs.root, "hello", mode=0o600, uid=5)
+    assert fs.lookup(fs.root, "hello") is inode
+    assert inode.itype == IFREG
+    assert inode.uid == 5
+
+
+def test_create_duplicate_is_eexist(fs):
+    fs.create(fs.root, "x")
+    with pytest.raises(UnixError) as exc:
+        fs.create(fs.root, "x")
+    assert exc.value.errno == EEXIST
+
+
+def test_lookup_missing_is_enoent(fs):
+    with pytest.raises(UnixError) as exc:
+        fs.lookup(fs.root, "nope")
+    assert exc.value.errno == ENOENT
+
+
+def test_lookup_in_file_is_enotdir(fs):
+    f = fs.create(fs.root, "f")
+    with pytest.raises(UnixError) as exc:
+        fs.lookup(f, "x")
+    assert exc.value.errno == ENOTDIR
+
+
+def test_mkdir_and_dotdot(fs):
+    d = fs.mkdir(fs.root, "dir")
+    sub = fs.mkdir(d, "sub")
+    assert fs.lookup(sub, "..") is d
+    assert fs.lookup(d, "..") is fs.root
+    assert fs.lookup(d, ".") is d
+
+
+def test_symlink(fs):
+    link = fs.symlink(fs.root, "lnk", "/usr/tmp")
+    assert link.itype == IFLNK
+    assert link.target == "/usr/tmp"
+
+
+def test_char_device(fs):
+    dev = fs.mkchar(fs.root, "null", "null")
+    assert dev.itype == IFCHR
+    assert dev.device == "null"
+
+
+def test_read_write(fs):
+    f = fs.create(fs.root, "data")
+    assert fs.write(f, 0, b"hello") == 5
+    assert fs.read(f, 0, 100) == b"hello"
+    assert fs.read(f, 2, 2) == b"ll"
+    assert fs.read(f, 99, 10) == b""
+
+
+def test_write_past_end_zero_fills(fs):
+    f = fs.create(fs.root, "sparse")
+    fs.write(f, 4, b"x")
+    assert fs.read(f, 0, 10) == b"\x00\x00\x00\x00x"
+
+
+def test_overwrite_middle(fs):
+    f = fs.create(fs.root, "f")
+    fs.write(f, 0, b"abcdef")
+    fs.write(f, 2, b"XY")
+    assert fs.read(f, 0, 10) == b"abXYef"
+
+
+def test_truncate(fs):
+    f = fs.create(fs.root, "f")
+    fs.write(f, 0, b"abcdef")
+    fs.truncate(f, 2)
+    assert fs.read(f, 0, 10) == b"ab"
+    fs.truncate(f)
+    assert f.size == 0
+
+
+def test_unlink(fs):
+    fs.create(fs.root, "f")
+    fs.unlink(fs.root, "f")
+    with pytest.raises(UnixError):
+        fs.lookup(fs.root, "f")
+
+
+def test_unlink_directory_is_eisdir(fs):
+    fs.mkdir(fs.root, "d")
+    with pytest.raises(UnixError) as exc:
+        fs.unlink(fs.root, "d")
+    assert exc.value.errno == EISDIR
+
+
+def test_rmdir(fs):
+    d = fs.mkdir(fs.root, "d")
+    fs.mkdir(d, "sub")
+    with pytest.raises(UnixError) as exc:
+        fs.rmdir(fs.root, "d")
+    assert exc.value.errno == ENOTEMPTY
+    fs.rmdir(d, "sub")
+    fs.rmdir(fs.root, "d")
+
+
+def test_makedirs(fs):
+    leaf = fs.makedirs("/usr/tmp/deep")
+    assert leaf.is_dir()
+    assert fs.resolve_local("/usr/tmp/deep") is leaf
+    # idempotent
+    assert fs.makedirs("/usr/tmp/deep") is leaf
+
+
+def test_install_and_read_file(fs):
+    fs.install_file("/etc/motd", b"welcome\n")
+    assert fs.read_file("/etc/motd") == b"welcome\n"
+    # replacement keeps the same inode
+    inode = fs.resolve_local("/etc/motd")
+    fs.install_file("/etc/motd", b"new")
+    assert fs.resolve_local("/etc/motd") is inode
+    assert fs.read_file("/etc/motd") == b"new"
+
+
+def test_stat(fs):
+    f = fs.create(fs.root, "f", mode=0o640, uid=3, gid=4)
+    fs.write(f, 0, b"12345")
+    st = f.stat()
+    assert st.is_reg() and not st.is_dir()
+    assert st.size == 5
+    assert st.mode == 0o640
+    assert (st.uid, st.gid) == (3, 4)
+
+
+def test_entry_names_sorted(fs):
+    fs.create(fs.root, "zz")
+    fs.create(fs.root, "aa")
+    assert fs.entry_names(fs.root) == ["aa", "zz"]
+
+
+class _Cred:
+    def __init__(self, euid, egid):
+        self.euid = euid
+        self.egid = egid
+
+
+def test_access_checks(fs):
+    f = fs.create(fs.root, "f", mode=0o640, uid=3, gid=4)
+    owner = _Cred(3, 100)
+    group = _Cred(9, 4)
+    other = _Cred(9, 9)
+    root = _Cred(0, 0)
+    assert f.check_access(owner, want_read=True, want_write=True)
+    assert f.check_access(group, want_read=True)
+    assert not f.check_access(group, want_write=True)
+    assert not f.check_access(other, want_read=True)
+    assert f.check_access(root, want_read=True, want_write=True)
+
+
+def test_exec_permission(fs):
+    prog = fs.create(fs.root, "prog", mode=0o755, uid=3)
+    noexec = fs.create(fs.root, "doc", mode=0o644, uid=3)
+    user = _Cred(5, 5)
+    root = _Cred(0, 0)
+    assert prog.check_access(user, want_exec=True)
+    assert not noexec.check_access(user, want_exec=True)
+    # even root cannot exec a file with no exec bits
+    assert not noexec.check_access(root, want_exec=True)

@@ -1,0 +1,220 @@
+"""Tests for execve(): loading, arguments, environment, errors."""
+
+import pytest
+
+from repro.errors import EACCES, ENOEXEC, ENOENT
+from repro.programs.guest.libasm import program
+from tests.conftest import run_native
+
+ARGV_DUMPER = """
+start:  move  (sp), d6              ; argc
+        move  d6, d2
+        jsr   putnum
+        lea   msg_nl, a0
+        jsr   puts
+        move  #0, d7                ; index
+        move  sp, a3
+        add   #4, a3                ; &argv[0]
+argloop:
+        cmp   d6, d7
+        bge   envpart
+        move  (a3), a0
+        jsr   puts
+        lea   msg_nl, a0
+        jsr   puts
+        add   #4, a3
+        add   #1, d7
+        bra   argloop
+envpart:
+        add   #4, a3                ; skip argv's NULL
+envloop:
+        move  (a3), d5
+        tst   d5
+        beq   alldone
+        move  d5, a0
+        jsr   puts
+        lea   msg_nl, a0
+        jsr   puts
+        add   #4, a3
+        bra   envloop
+alldone:
+        move  #0, d2
+        jsr   exit
+"""
+
+ARGV_DATA = """
+msg_nl: .asciz "\\n"
+"""
+
+
+def test_argv_and_env_reach_the_stack(brick, cluster):
+    src = program(ARGV_DUMPER, ARGV_DATA)
+    brick.install_aout("argdump", src.aout)
+    out = []
+
+    def launcher(argv, env):
+        out.append((yield ("execve", "/bin/argdump",
+                           ["argdump", "alpha", "beta"],
+                           ["HOME=/u/alonso", "TERM=sun"])))
+        return 9  # never reached on success
+
+    brick.install_native_program("launcher", launcher)
+    handle = brick.spawn("/bin/launcher", uid=100)
+    cluster.run_until(lambda: handle.exited)
+    text = brick.console_text()
+    assert out == []  # execve never returned
+    assert "3\n" in text
+    assert "argdump" in text
+    assert "alpha" in text and "beta" in text
+    assert "HOME=/u/alonso" in text and "TERM=sun" in text
+    assert handle.exit_status == 0
+
+
+def test_exec_missing_file(brick, cluster):
+    out = []
+
+    def prog(argv, env):
+        out.append((yield ("execve", "/bin/nothing", ["nothing"], None)))
+        return 0
+
+    run_native(brick, prog)
+    assert out == [-ENOENT]
+
+
+def test_exec_garbage_is_enoexec(brick, cluster):
+    brick.fs.install_file("/bin/garbage", b"not an executable at all",
+                          mode=0o755)
+    out = []
+
+    def prog(argv, env):
+        out.append((yield ("execve", "/bin/garbage", ["garbage"], None)))
+        return 0
+
+    run_native(brick, prog)
+    assert out == [-ENOEXEC]
+
+
+def test_exec_without_x_bit_is_eacces(brick, cluster):
+    from repro.programs.guest.counter import counter_aout
+    brick.fs.install_file("/bin/noexec", counter_aout(), mode=0o644)
+    out = []
+
+    def prog(argv, env):
+        out.append((yield ("execve", "/bin/noexec", ["noexec"], None)))
+        return 0
+
+    run_native(brick, prog, uid=100)
+    assert out == [-EACCES]
+
+
+def test_exec_resets_caught_signals(brick, cluster):
+    """Caught handlers cannot survive exec (the text is gone)."""
+    from repro.kernel.signals import SIGUSR1, SIG_DFL, SIG_IGN
+    src = program("""
+start:  move  #SYS_signal, d0        ; install a handler...
+        move  #SIGUSR1, d1
+        move  #start, d2
+        trap
+        move  #SYS_execve, d0        ; ...then exec ourselves
+        move  #self_path, d1
+        move  #0, d2
+        move  #0, d3
+        trap
+        halt
+""", """
+self_path: .asciz "/bin/reexec_target"
+""")
+    target = program("""
+start:  move  #SYS_signal, d0        ; read the disposition back
+        move  #SIGUSR1, d1
+        move  #0, d2                 ; SIG_DFL (also returns the old)
+        trap
+        move  d0, d2
+        jsr   putnum
+        lea   nl, a0
+        jsr   puts
+        move  #0, d2
+        jsr   exit
+""", """
+nl: .asciz "\\n"
+""")
+    brick.install_aout("reexec", src.aout)
+    brick.install_aout("reexec_target", target.aout)
+    handle = brick.spawn("/bin/reexec", uid=100)
+    cluster.run_until(lambda: handle.exited)
+    # old disposition printed by the target must be SIG_DFL (0)
+    assert "0\n" in brick.console_text()
+
+
+def test_exec_keeps_open_files(brick, cluster):
+    """Descriptors survive exec (restart depends on this)."""
+    from repro.kernel.constants import O_CREAT, O_WRONLY
+    src = program("""
+start:  move  #SYS_write, d0        ; fd 3 was opened pre-exec
+        move  #3, d1
+        move  #msg, d2
+        move  #9, d3
+        trap
+        move  #0, d2
+        jsr   exit
+""", """
+msg: .asciz "via fd 3\\n"
+""")
+    brick.install_aout("fduser", src.aout)
+
+    def prog(argv, env):
+        fd = yield ("open", "/tmp/carried", O_WRONLY | O_CREAT, 0o644)
+        assert fd == 3
+        yield ("execve", "/bin/fduser", ["fduser"], None)
+        return 1
+
+    handle = run_native(brick, prog)
+    assert handle.exit_status == 0
+    assert brick.fs.read_file("/tmp/carried") == b"via fd 3\n"
+
+
+def test_native_marker_exec(brick, cluster):
+    ran = []
+
+    def inner(argv, env):
+        ran.append(list(argv))
+        yield ("getpid",)
+        return 0
+
+    brick.install_native_program("inner", inner)
+
+    def outer(argv, env):
+        yield ("execve", "/bin/inner", ["inner", "x"], None)
+        return 1
+
+    handle = run_native(brick, outer)
+    assert ran == [["inner", "x"]]
+    assert handle.exit_status == 0
+
+
+def test_unregistered_native_marker_is_enoexec(brick, cluster):
+    brick.fs.install_file("/bin/ghost", b"#!native ghost\n", mode=0o755)
+    out = []
+
+    def prog(argv, env):
+        out.append((yield ("execve", "/bin/ghost", ["ghost"], None)))
+        return 0
+
+    run_native(brick, prog)
+    assert out == [-ENOEXEC]
+
+
+def test_exec_records_kernel_timing(brick, cluster):
+    """The paper's in-kernel timing code (Figure 3's baseline)."""
+    from repro.programs.guest.counter import counter_aout
+    brick.install_aout("counter", counter_aout())
+    before = len(brick.kernel.timings("execve"))
+    handle = brick.spawn("/bin/counter", uid=100, cwd="/tmp")
+    cluster.run_until(lambda: "> " in brick.console_text())
+    records = brick.kernel.timings("execve")
+    assert len(records) == before + 1
+    assert records[-1]["real_us"] > 0
+    assert records[-1]["cpu_us"] > 0
+    assert records[-1]["real_us"] >= records[-1]["cpu_us"]
+    # the paper's anchor: exec of the test program < 0.2 s
+    assert records[-1]["real_us"] < 200_000

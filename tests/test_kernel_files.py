@@ -1,0 +1,310 @@
+"""Tests for file-related system calls, driven by native programs."""
+
+import pytest
+
+from repro.errors import (EACCES, EBADF, EEXIST, EISDIR, ENOENT,
+                          ENOTTY, EPERM, ESPIPE, iserr)
+from repro.kernel.constants import (O_APPEND, O_CREAT, O_EXCL,
+                                    O_RDONLY, O_RDWR, O_TRUNC,
+                                    O_WRONLY, SEEK_CUR, SEEK_END,
+                                    SEEK_SET)
+from tests.conftest import run_native
+
+RESULTS = {}
+
+
+def collect(key):
+    """Store a native program's observations for assertions."""
+    RESULTS[key] = []
+    return RESULTS[key]
+
+
+def test_open_write_read_roundtrip(brick, cluster):
+    out = collect("rw")
+
+    def prog(argv, env):
+        fd = yield ("open", "/tmp/f", O_WRONLY | O_CREAT, 0o644)
+        out.append(("open", fd))
+        out.append(("write", (yield ("write", fd, b"hello world"))))
+        yield ("close", fd)
+        fd = yield ("open", "/tmp/f", O_RDONLY, 0)
+        out.append(("read", (yield ("read", fd, 100))))
+        yield ("close", fd)
+        return 0
+
+    handle = run_native(brick, prog)
+    assert handle.exit_status == 0
+    assert dict(out)["write"] == 11
+    assert dict(out)["read"] == b"hello world"
+
+
+def test_offsets_and_lseek(brick, cluster):
+    out = collect("seek")
+
+    def prog(argv, env):
+        fd = yield ("open", "/tmp/f", O_RDWR | O_CREAT, 0o644)
+        yield ("write", fd, b"0123456789")
+        out.append((yield ("lseek", fd, 2, SEEK_SET)))
+        out.append((yield ("read", fd, 3)))
+        out.append((yield ("lseek", fd, 1, SEEK_CUR)))
+        out.append((yield ("read", fd, 2)))
+        out.append((yield ("lseek", fd, -1, SEEK_END)))
+        out.append((yield ("read", fd, 10)))
+        out.append((yield ("lseek", fd, -99, SEEK_SET)))
+        return 0
+
+    run_native(brick, prog)
+    assert out == [2, b"234", 6, b"67", 9, b"9", -22]
+
+
+def test_append_mode(brick, cluster):
+    def prog(argv, env):
+        fd = yield ("open", "/tmp/log", O_WRONLY | O_CREAT, 0o644)
+        yield ("write", fd, b"first")
+        yield ("close", fd)
+        fd = yield ("open", "/tmp/log", O_WRONLY | O_APPEND, 0)
+        yield ("write", fd, b"+more")
+        yield ("close", fd)
+        return 0
+
+    run_native(brick, prog)
+    assert brick.fs.read_file("/tmp/log") == b"first+more"
+
+
+def test_o_trunc_and_o_excl(brick, cluster):
+    out = collect("trunc")
+
+    def prog(argv, env):
+        fd = yield ("open", "/tmp/t", O_WRONLY | O_CREAT, 0o644)
+        yield ("write", fd, b"long content here")
+        yield ("close", fd)
+        fd = yield ("open", "/tmp/t", O_WRONLY | O_CREAT | O_TRUNC, 0o644)
+        yield ("write", fd, b"x")
+        yield ("close", fd)
+        out.append((yield ("open", "/tmp/t",
+                           O_WRONLY | O_CREAT | O_EXCL, 0o644)))
+        return 0
+
+    run_native(brick, prog)
+    assert brick.fs.read_file("/tmp/t") == b"x"
+    assert out[0] == -EEXIST
+
+
+def test_bad_fd_operations(brick, cluster):
+    out = collect("badfd")
+
+    def prog(argv, env):
+        out.append((yield ("read", 15, 10)))
+        out.append((yield ("write", 15, b"x")))
+        out.append((yield ("close", 15)))
+        fd = yield ("open", "/tmp/ro", O_WRONLY | O_CREAT, 0o644)
+        yield ("close", fd)
+        fd = yield ("open", "/tmp/ro", O_RDONLY, 0)
+        out.append((yield ("write", fd, b"x")))
+        return 0
+
+    run_native(brick, prog)
+    assert out == [-EBADF, -EBADF, -EBADF, -EBADF]
+
+
+def test_open_missing_and_isdir(brick, cluster):
+    out = collect("missing")
+
+    def prog(argv, env):
+        out.append((yield ("open", "/no/such", O_RDONLY, 0)))
+        out.append((yield ("open", "/tmp", O_WRONLY, 0)))
+        return 0
+
+    run_native(brick, prog)
+    assert out == [-ENOENT, -EISDIR]
+
+
+def test_permissions_enforced(brick, cluster):
+    brick.fs.install_file("/etc/secret", b"root only", mode=0o600)
+    out = collect("perm")
+
+    def prog(argv, env):
+        out.append((yield ("open", "/etc/secret", O_RDONLY, 0)))
+        return 0
+
+    run_native(brick, prog, uid=100)
+    assert out == [-EACCES]
+    # and the superuser can
+    out2 = collect("perm2")
+
+    def prog2(argv, env):
+        out2.append((yield ("open", "/etc/secret", O_RDONLY, 0)))
+        return 0
+
+    run_native(brick, prog2, uid=0, name="testprog2")
+    assert out2[0] >= 0
+
+
+def test_unlink_mkdir_stat(brick, cluster):
+    out = collect("meta")
+
+    def prog(argv, env):
+        yield ("mkdir", "/tmp/d", 0o755)
+        fd = yield ("open", "/tmp/d/f", O_WRONLY | O_CREAT, 0o600)
+        yield ("write", fd, b"xyz")
+        yield ("close", fd)
+        st = yield ("stat", "/tmp/d/f")
+        out.append(("size", st.size))
+        out.append(("mode", st.mode))
+        out.append(("unlink", (yield ("unlink", "/tmp/d/f"))))
+        out.append(("gone", (yield ("stat", "/tmp/d/f"))))
+        return 0
+
+    run_native(brick, prog, uid=100)
+    data = dict(out)
+    assert data["size"] == 3
+    assert data["mode"] == 0o600
+    assert data["unlink"] == 0
+    assert data["gone"] == -ENOENT
+
+
+def test_symlink_and_readlink(brick, cluster):
+    out = collect("lnk")
+
+    def prog(argv, env):
+        yield ("symlink", "/tmp/real", "/tmp/alias")
+        fd = yield ("open", "/tmp/real", O_WRONLY | O_CREAT, 0o644)
+        yield ("write", fd, b"via target")
+        yield ("close", fd)
+        out.append((yield ("readlink", "/tmp/alias")))
+        fd = yield ("open", "/tmp/alias", O_RDONLY, 0)
+        out.append((yield ("read", fd, 32)))
+        lst = yield ("lstat", "/tmp/alias")
+        out.append(lst.itype)
+        return 0
+
+    run_native(brick, prog, uid=100)
+    from repro.fs.inode import IFLNK
+    assert out[0] == "/tmp/real"
+    assert out[1] == b"via target"
+    assert out[2] == IFLNK
+
+
+def test_dup_shares_offset(brick, cluster):
+    out = collect("dup")
+
+    def prog(argv, env):
+        fd = yield ("open", "/tmp/f", O_RDWR | O_CREAT, 0o644)
+        yield ("write", fd, b"abcdef")
+        fd2 = yield ("dup", fd)
+        yield ("lseek", fd, 0, SEEK_SET)
+        out.append((yield ("read", fd2, 2)))  # shared offset
+        out.append((yield ("read", fd, 2)))
+        yield ("close", fd)
+        out.append((yield ("read", fd2, 2)))  # still open via fd2
+        return 0
+
+    run_native(brick, prog)
+    assert out == [b"ab", b"cd", b"ef"]
+
+
+def test_dup2_replaces(brick, cluster):
+    out = collect("dup2")
+
+    def prog(argv, env):
+        fd = yield ("open", "/tmp/f", O_WRONLY | O_CREAT, 0o644)
+        result = yield ("dup2", fd, 9)
+        out.append(result)
+        yield ("write", 9, b"through dup2")
+        return 0
+
+    run_native(brick, prog)
+    assert out == [9]
+    assert brick.fs.read_file("/tmp/f") == b"through dup2"
+
+
+def test_pipe_roundtrip(brick, cluster):
+    out = collect("pipe")
+
+    def prog(argv, env):
+        rfd, wfd = yield ("pipe",)
+        yield ("write", wfd, b"through the pipe")
+        out.append((yield ("read", rfd, 100)))
+        yield ("close", wfd)
+        out.append((yield ("read", rfd, 100)))  # EOF after writer gone
+        return 0
+
+    run_native(brick, prog)
+    assert out == [b"through the pipe", b""]
+
+
+def test_lseek_on_pipe_is_espipe(brick, cluster):
+    out = collect("espipe")
+
+    def prog(argv, env):
+        rfd, wfd = yield ("pipe",)
+        out.append((yield ("lseek", rfd, 0, SEEK_SET)))
+        return 0
+
+    run_native(brick, prog)
+    assert out == [-ESPIPE]
+
+
+def test_ioctl_on_file_is_enotty(brick, cluster):
+    out = collect("enotty")
+
+    def prog(argv, env):
+        fd = yield ("open", "/tmp/f", O_WRONLY | O_CREAT, 0o644)
+        from repro.kernel.constants import TIOCGETP
+        out.append((yield ("ioctl", fd, TIOCGETP, 0)))
+        out.append((yield ("isatty", fd)))
+        out.append((yield ("isatty", 0)))
+        return 0
+
+    run_native(brick, prog)
+    assert out[0] == -ENOTTY
+    assert out[1] == 0
+    assert out[2] == 1  # console-backed stdio
+
+
+def test_dev_null_semantics(brick, cluster):
+    out = collect("null")
+
+    def prog(argv, env):
+        fd = yield ("open", "/dev/null", O_RDWR, 0)
+        out.append((yield ("write", fd, b"disappears")))
+        out.append((yield ("read", fd, 10)))
+        return 0
+
+    run_native(brick, prog)
+    assert out == [10, b""]
+
+
+def test_remote_file_io_via_n(cluster):
+    brick = cluster.machine("brick")
+    brador = cluster.machine("brador")
+    out = collect("nfs")
+
+    def prog(argv, env):
+        fd = yield ("open", "/n/brador/tmp/shared",
+                    O_WRONLY | O_CREAT, 0o644)
+        yield ("write", fd, b"over nfs")
+        yield ("close", fd)
+        return 0
+
+    run_native(brick, prog)
+    assert brador.fs.read_file("/tmp/shared") == b"over nfs"
+
+
+def test_remote_io_costs_more_than_local(cluster):
+    """NFS operations must be visibly slower than local ones."""
+    brick = cluster.machine("brick")
+
+    def write_prog(path):
+        def prog(argv, env):
+            for __ in range(20):
+                fd = yield ("open", path, O_WRONLY | O_CREAT, 0o644)
+                yield ("write", fd, b"x" * 4096)
+                yield ("close", fd)
+            return 0
+        return prog
+
+    local = run_native(brick, write_prog("/tmp/local"), name="wl")
+    remote = run_native(brick, write_prog("/n/brador/tmp/remote"),
+                        name="wr")
+    assert remote.proc.stime_us > 1.5 * local.proc.stime_us

@@ -1,0 +1,165 @@
+"""Tests for the paper's kernel modification: name tracking.
+
+Section 5.1: the user structure's cwd-name field and the file
+structure's dynamically-allocated path-name string, maintained by
+chdir()/open()/creat()/close().
+"""
+
+import pytest
+
+from repro.costmodel import CostModel
+from repro.errors import ENAMETOOLONG
+from repro.kernel.constants import O_CREAT, O_RDONLY, O_WRONLY, MAXCWD
+from repro.machine import Cluster
+from tests.conftest import run_native
+
+
+@pytest.fixture
+def tracking(request):
+    cluster = Cluster()
+    cluster.add_machine("brick")
+    return cluster.machine("brick"), cluster
+
+
+@pytest.fixture
+def untracking():
+    cluster = Cluster(CostModel(track_names=False))
+    cluster.add_machine("brick")
+    return cluster.machine("brick"), cluster
+
+
+def _snapshot(machine, prog, **kw):
+    entries = {}
+
+    def wrapper(argv, env):
+        status = yield from prog(argv, env)
+        # capture kernel structures at the end of the program's life
+        proc = machine.kernel.curproc
+        entries["cwd_name"] = proc.user.cwd_name
+        entries["names"] = [f.name for f in proc.user.ofile
+                            if f is not None]
+        return status
+
+    handle = run_native(machine, wrapper, **kw)
+    return entries, handle
+
+
+def test_open_records_absolute_name(tracking):
+    machine, cluster = tracking
+
+    def prog(argv, env):
+        yield ("open", "/tmp/abs_file", O_WRONLY | O_CREAT, 0o644)
+        return 0
+
+    entries, __ = _snapshot(machine, prog)
+    assert "/tmp/abs_file" in entries["names"]
+
+
+def test_open_combines_relative_name_with_cwd(tracking):
+    machine, cluster = tracking
+
+    def prog(argv, env):
+        yield ("chdir", "/usr/tmp")
+        yield ("open", "rel_file", O_WRONLY | O_CREAT, 0o644)
+        yield ("open", "../tmp/./other", O_WRONLY | O_CREAT, 0o644)
+        return 0
+
+    entries, __ = _snapshot(machine, prog)
+    assert "/usr/tmp/rel_file" in entries["names"]
+    # "." and ".." are resolved lexically when combining
+    assert "/usr/tmp/other" in entries["names"]
+
+
+def test_chdir_maintains_cwd_name(tracking):
+    machine, cluster = tracking
+
+    def prog(argv, env):
+        yield ("chdir", "/usr")
+        yield ("chdir", "tmp")
+        yield ("chdir", "..")
+        yield ("chdir", ".")
+        return 0
+
+    entries, __ = _snapshot(machine, prog)
+    assert entries["cwd_name"] == "/usr"
+
+
+def test_cwd_name_fixed_size_limit(tracking):
+    machine, cluster = tracking
+    # build a directory tree deeper than MAXCWD characters
+    deep = "/" + "/".join(["d%02d" % i for i in range(40)])
+    machine.fs.makedirs(deep)
+    out = []
+
+    def prog(argv, env):
+        out.append((yield ("chdir", deep)))
+        return 0
+
+    run_native(machine, prog)
+    assert len(deep) >= MAXCWD
+    assert out == [-ENAMETOOLONG]
+
+
+def test_unmodified_kernel_keeps_no_names(untracking):
+    machine, cluster = untracking
+
+    def prog(argv, env):
+        yield ("chdir", "/usr/tmp")
+        yield ("open", "something", O_WRONLY | O_CREAT, 0o644)
+        return 0
+
+    entries, __ = _snapshot(machine, prog)
+    assert entries["names"] == [None] * len(entries["names"])
+    assert entries["cwd_name"] == ""
+
+
+def test_close_frees_the_name_string(tracking):
+    machine, cluster = tracking
+    table = machine.kernel.files
+
+    def prog(argv, env):
+        fd = yield ("open", "/tmp/f", O_WRONLY | O_CREAT, 0o644)
+        yield ("close", fd)
+        return 0
+
+    run_native(machine, prog)
+    assert table.name_allocs >= 1
+    assert table.name_bytes == 0  # everything released
+
+
+def test_name_bytes_accounting(tracking):
+    """Ablation A3 bookkeeping: live name bytes track open files."""
+    machine, cluster = tracking
+    table = machine.kernel.files
+    holder = {}
+
+    def prog(argv, env):
+        yield ("open", "/tmp/abcdef", O_WRONLY | O_CREAT, 0o644)
+        holder["bytes"] = table.name_bytes
+        return 0
+
+    run_native(machine, prog)
+    # "/tmp/abcdef" (11 chars + NUL) plus the stdio entry's name
+    assert holder["bytes"] >= len("/tmp/abcdef") + 1
+
+
+def test_tracking_kernel_is_slower(tracking, untracking):
+    """The Figure 1 effect: modified syscalls cost measurably more."""
+    results = {}
+    for label, (machine, cluster) in (("on", tracking),
+                                      ("off", untracking)):
+        def prog(argv, env):
+            for __ in range(100):
+                fd = yield ("open", "/etc/target", O_RDONLY, 0)
+                if fd >= 0:
+                    yield ("close", fd)
+            return 0
+
+        machine.fs.install_file("/etc/target", b"x", mode=0o644)
+        handle = run_native(machine, prog)
+        results[label] = handle.proc.stime_us
+    assert results["on"] > results["off"]
+    overhead = results["on"] / results["off"] - 1.0
+    # the paper reports ~44%; accept a generous band here (the bench
+    # asserts the calibrated value)
+    assert 0.10 < overhead < 1.0

@@ -1,0 +1,327 @@
+"""Tests for process management: fork/exit/wait, signals, identity."""
+
+import pytest
+
+from repro.errors import ECHILD, EPERM, ESRCH, EINVAL
+from repro.kernel.signals import (SIGDUMP, SIGKILL, SIGTERM, SIGQUIT,
+                                  SIGUSR1, SIGINT)
+from repro.programs.guest.libasm import program
+from tests.conftest import run_native
+
+
+def test_guest_fork_parent_and_child(brick, cluster):
+    """fork() returns the child pid to the parent and 0 to the child;
+    each side runs with its own copy of the registers and memory."""
+    src = program("""
+start:  move  #SYS_fork, d0
+        trap
+        tst   d0
+        beq   child
+        lea   msg_parent, a0
+        jsr   puts
+        move  #SYS_wait, d0
+        move  #0, d1
+        trap
+        lea   msg_reaped, a0
+        jsr   puts
+        move  #0, d2
+        jsr   exit
+child:  lea   msg_child, a0
+        jsr   puts
+        move  #7, d2
+        jsr   exit
+""", """
+msg_parent: .asciz "parent\\n"
+msg_child:  .asciz "child\\n"
+msg_reaped: .asciz "reaped\\n"
+""")
+    brick.install_aout("forker", src.aout)
+    handle = brick.spawn("/bin/forker", uid=100)
+    cluster.run_until(lambda: handle.exited)
+    text = brick.console_text()
+    assert "parent" in text
+    assert "child" in text
+    assert "reaped" in text
+    assert handle.exit_status == 0
+
+
+def test_wait_status_encodes_exit_code(brick, cluster):
+    out = []
+
+    def prog(argv, env):
+        def child(argv2, env2):
+            yield ("getpid",)
+            return 5
+        # native programs use spawn instead of fork
+        pid = yield ("spawn", "/bin/kidprog", ["kidprog"])
+        out.append(("spawned", pid))
+        result = yield ("wait",)
+        out.append(("wait", result))
+        return 0
+
+    def kid(argv, env):
+        yield ("getpid",)
+        return 5
+
+    brick.install_native_program("kidprog", kid)
+    run_native(brick, prog)
+    waited = dict(out)["wait"]
+    assert waited[0] == dict(out)["spawned"]
+    assert (waited[1] >> 8) & 0xFF == 5
+    assert waited[1] & 0x7F == 0
+
+
+def test_wait_with_no_children_is_echild(brick, cluster):
+    out = []
+
+    def prog(argv, env):
+        out.append((yield ("wait",)))
+        return 0
+
+    run_native(brick, prog)
+    assert out == [-ECHILD]
+
+
+def test_wait_status_encodes_signal(brick, cluster):
+    out = []
+
+    def victim(argv, env):
+        while True:
+            yield ("sleep", 1)
+
+    def prog(argv, env):
+        pid = yield ("spawn", "/bin/victim", ["victim"])
+        yield ("kill", pid, SIGTERM)
+        out.append((yield ("wait",)))
+        return 0
+
+    brick.install_native_program("victim", victim)
+    run_native(brick, prog)
+    assert out[0][1] & 0x7F == SIGTERM
+
+
+def test_kill_permission_checks(brick, cluster):
+    """Only the owner or the superuser may signal a process."""
+    out = []
+
+    def victim(argv, env):
+        while True:
+            yield ("sleep", 5)
+
+    def prog(argv, env):
+        out.append((yield ("kill", int(argv[1]), SIGTERM)))
+        return 0
+
+    brick.install_native_program("victim", victim)
+    victim_handle = brick.spawn("/bin/victim", uid=100)
+    brick.install_native_program("killer", prog)
+    # wrong user
+    h = brick.spawn("/bin/killer", ["killer", str(victim_handle.pid)],
+                    uid=200)
+    cluster.run_until(lambda: h.exited)
+    assert out == [-EPERM]
+    assert not victim_handle.exited
+    # right user
+    out.clear()
+    h = brick.spawn("/bin/killer", ["killer", str(victim_handle.pid)],
+                    uid=100)
+    cluster.run_until(lambda: victim_handle.exited)
+    assert out == [0]
+
+
+def test_kill_missing_process_is_esrch(brick, cluster):
+    out = []
+
+    def prog(argv, env):
+        out.append((yield ("kill", 4242, SIGTERM)))
+        return 0
+
+    run_native(brick, prog, uid=0)
+    assert out == [-ESRCH]
+
+
+def test_sigkill_cannot_be_caught(brick, cluster):
+    out = []
+
+    def prog(argv, env):
+        from repro.kernel.signals import SIG_IGN
+        out.append((yield ("sigvec", SIGKILL, SIG_IGN)))
+        out.append((yield ("sigvec", SIGDUMP, SIG_IGN)))
+        out.append((yield ("sigvec", SIGTERM, SIG_IGN)))
+        return 0
+
+    run_native(brick, prog)
+    assert out[0] == -EINVAL
+    assert out[1] == -EINVAL  # SIGDUMP is uncatchable, like SIGKILL
+    assert out[2] == 0
+
+
+def test_guest_signal_handler_and_sigreturn(brick, cluster):
+    """A VM process catches SIGUSR1, runs its handler, resumes."""
+    src = program("""
+start:  move  #SYS_signal, d0
+        move  #SIGUSR1, d1
+        move  #handler, d2
+        trap
+        lea   msg_ready, a0
+        jsr   puts
+wloop:  move  #SYS_read, d0          ; block: the signal arrives here
+        move  #0, d1
+        move  #buf, d2
+        move  #64, d3
+        trap
+        move  hits, d2
+        jsr   putnum
+        lea   msg_nl, a0
+        jsr   puts
+        move  #0, d2
+        jsr   exit
+
+handler:
+        add   #1, hits
+        pop   d5                     ; signal number pushed by kernel
+        move  #SYS_sigreturn, d0
+        trap
+        halt
+""", """
+hits:      .word 0
+buf:       .space 64
+msg_ready: .asciz "ready\\n"
+msg_nl:    .asciz "\\n"
+""")
+    brick.install_aout("catcher", src.aout)
+    handle = brick.spawn("/bin/catcher", uid=100)
+    cluster.run_until(lambda: "ready" in brick.console_text())
+    brick.kernel.post_signal(handle.proc, SIGUSR1)
+    cluster.run(max_steps=50000)
+    # the handler ran; the process went back to its read
+    assert handle.proc.image.image.read_i32(
+        handle.proc.image.image.data_base) == 1
+    # typing completes the (restarted) read
+    brick.type_at_console("go\n")
+    cluster.run_until(lambda: handle.exited)
+    assert "1\n" in brick.console_text()
+
+
+def test_uncaught_sigint_terminates(brick, cluster):
+    def prog(argv, env):
+        while True:
+            yield ("sleep", 5)
+
+    brick.install_native_program("sleeper", prog)
+    handle = brick.spawn("/bin/sleeper", uid=100)
+    cluster.run(until_us=brick.clock.now_us + 1_000_000)
+    brick.kernel.post_signal(handle.proc, SIGINT)
+    cluster.run_until(lambda: handle.exited)
+    assert handle.term_signal == SIGINT
+
+
+def test_sigquit_writes_core(brick, cluster):
+    """The Figure 2 baseline: SIGQUIT terminates with a core dump."""
+    handle = brick.spawn("/bin/true_", uid=100, cwd="/tmp") \
+        if False else None
+    from repro.programs.guest.counter import counter_aout
+    brick.install_aout("counter", counter_aout())
+    handle = brick.spawn("/bin/counter", uid=100, cwd="/tmp")
+    cluster.run_until(lambda: "> " in brick.console_text())
+    brick.kernel.post_signal(handle.proc, SIGQUIT)
+    cluster.run_until(lambda: handle.exited)
+    assert handle.term_signal == SIGQUIT
+    core = brick.fs.read_file("/tmp/core")
+    assert len(core) > 1024  # u-area header + data + stack
+
+
+def test_getpid_getppid_getuid(brick, cluster):
+    out = []
+
+    def prog(argv, env):
+        out.append(("pid", (yield ("getpid",))))
+        out.append(("ppid", (yield ("getppid",))))
+        out.append(("uid", (yield ("getuid",))))
+        out.append(("euid", (yield ("geteuid",))))
+        return 0
+
+    handle = run_native(brick, prog, uid=42)
+    data = dict(out)
+    assert data["pid"] == handle.pid
+    assert data["ppid"] == 0  # spawned from the outside
+    assert data["uid"] == 42
+    assert data["euid"] == 42
+
+
+def test_setreuid_rules(brick, cluster):
+    out = []
+
+    def prog(argv, env):
+        out.append((yield ("setreuid", 100, 100)))  # same: fine
+        out.append((yield ("setreuid", 0, 0)))  # escalate: EPERM
+        return 0
+
+    run_native(brick, prog, uid=100)
+    assert out == [0, -EPERM]
+
+    out2 = []
+
+    def root_prog(argv, env):
+        out2.append((yield ("setreuid", 100, 100)))  # root may drop
+        out2.append((yield ("getuid",)))
+        return 0
+
+    run_native(brick, root_prog, uid=0, name="rootprog")
+    assert out2 == [0, 100]
+
+
+def test_sleep_advances_virtual_time(brick, cluster):
+    def prog(argv, env):
+        yield ("sleep", 3)
+        return 0
+
+    t0 = brick.clock.now_us
+    run_native(brick, prog)
+    assert brick.clock.now_us - t0 >= 3_000_000
+
+
+def test_exit_closes_files_and_zombies_reaped(brick, cluster):
+    def prog(argv, env):
+        from repro.kernel.constants import O_CREAT, O_WRONLY
+        yield ("open", "/tmp/x", O_WRONLY | O_CREAT, 0o644)
+        return 0
+
+    before = brick.kernel.files.live_count()
+    handle = run_native(brick, prog)
+    # spawned with no parent: reaped automatically
+    assert brick.kernel.procs.lookup(handle.pid) is None
+    assert brick.kernel.files.live_count() == before
+
+
+def test_sbrk_grows_guest_heap(brick, cluster):
+    src = program("""
+start:  move  #SYS_sbrk, d0
+        move  #4096, d1
+        trap
+        move  d0, a0                 ; old break
+        movb  #'A', (a0)             ; the new page is writable
+        movb  (a0), d2
+        jsr   putnum
+        move  #0, d2
+        jsr   exit
+""")
+    brick.install_aout("grower", src.aout)
+    handle = brick.spawn("/bin/grower", uid=100)
+    cluster.run_until(lambda: handle.exited)
+    assert str(ord("A")) in brick.console_text()
+    assert handle.exit_status == 0
+
+
+def test_proctab_snapshot(brick, cluster):
+    rows = []
+
+    def prog(argv, env):
+        rows.extend((yield ("getproctab",)))
+        return 0
+
+    handle = run_native(brick, prog, name="snapshot")
+    commands = [r["command"] for r in rows]
+    assert "snapshot" in commands
+    me = [r for r in rows if r["command"] == "snapshot"][0]
+    assert me["pid"] == handle.pid

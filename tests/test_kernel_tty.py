@@ -1,0 +1,181 @@
+"""Tests for terminals: modes, ioctls, blocking reads, echo."""
+
+import pytest
+
+from repro.kernel.constants import (TF_CBREAK, TF_CRMOD, TF_ECHO,
+                                    TF_RAW, TIOCGETP, TIOCSETP,
+                                    TTY_DEFAULT_FLAGS)
+from repro.kernel.tty import Terminal
+from tests.conftest import run_native
+
+
+# -- the Terminal object in isolation ------------------------------------
+
+
+def test_default_modes():
+    tty = Terminal()
+    assert tty.echoes()
+    assert not tty.is_raw()
+    assert tty.flags == TTY_DEFAULT_FLAGS
+    assert tty.isatty()
+
+
+def test_cooked_mode_waits_for_a_line():
+    tty = Terminal()
+    tty.feed("par")
+    assert not tty.input_available()
+    assert tty.read(10) is None
+    tty.feed("tial\n")
+    assert tty.read(100) == b"partial\n"
+
+
+def test_cooked_mode_returns_one_line_at_a_time():
+    tty = Terminal()
+    tty.feed("one\ntwo\n")
+    assert tty.read(100) == b"one\n"
+    assert tty.read(100) == b"two\n"
+    assert tty.read(100) is None
+
+
+def test_raw_mode_returns_single_characters():
+    tty = Terminal()
+    tty.set_flags(TF_RAW)
+    tty.feed("ab")
+    assert tty.read(1) == b"a"
+    assert tty.read(1) == b"b"
+    assert tty.read(1) is None
+
+
+def test_cbreak_returns_available_without_newline():
+    tty = Terminal()
+    tty.set_flags(TF_CBREAK | TF_ECHO)
+    tty.feed("xy")
+    assert tty.read(10) == b"xy"
+
+
+def test_echo_writes_input_to_output():
+    tty = Terminal()
+    tty.feed("hello\n")
+    assert b"hello" in tty.output
+
+
+def test_noecho_suppresses():
+    tty = Terminal()
+    tty.set_flags(TF_CRMOD)  # no TF_ECHO
+    tty.feed("secret\n")
+    assert b"secret" not in tty.output
+
+
+def test_crmod_maps_cr_to_nl_on_input():
+    tty = Terminal()
+    tty.feed("line\r")
+    assert tty.read(100) == b"line\n"
+
+
+def test_crmod_maps_nl_to_crnl_on_output():
+    tty = Terminal()
+    tty.write(b"a\nb")
+    assert bytes(tty.output) == b"a\r\nb"
+    assert tty.output_text() == "a\nb"
+
+
+def test_raw_mode_output_untranslated():
+    tty = Terminal()
+    tty.set_flags(TF_RAW | TF_CRMOD)
+    tty.write(b"a\nb")
+    assert bytes(tty.output) == b"a\nb"
+
+
+def test_on_input_callback():
+    tty = Terminal()
+    fired = []
+    tty.on_input = fired.append
+    tty.feed("x\n")
+    assert fired == [tty]
+
+
+def test_reset_modes():
+    tty = Terminal()
+    tty.set_flags(TF_RAW)
+    tty.reset_modes()
+    assert tty.flags == TTY_DEFAULT_FLAGS
+
+
+# -- through the kernel ------------------------------------------------------
+
+
+def test_ioctl_get_and_set_flags(brick, cluster):
+    out = []
+
+    def prog(argv, env):
+        out.append((yield ("ioctl", 0, TIOCGETP, 0)))
+        yield ("ioctl", 0, TIOCSETP, TF_RAW)
+        out.append((yield ("ioctl", 0, TIOCGETP, 0)))
+        yield ("ioctl", 0, TIOCSETP, TTY_DEFAULT_FLAGS)
+        return 0
+
+    run_native(brick, prog)
+    assert out == [TTY_DEFAULT_FLAGS, TF_RAW]
+    assert brick.console.flags == TTY_DEFAULT_FLAGS
+
+
+def test_blocking_read_then_feed(brick, cluster):
+    got = []
+
+    def prog(argv, env):
+        got.append((yield ("read", 0, 100)))
+        return 0
+
+    brick.install_native_program("reader", prog)
+    handle = brick.spawn("/bin/reader", uid=100)
+    cluster.run(max_steps=10_000)
+    assert not handle.exited  # blocked on the console
+    brick.type_at_console("wake up\n")
+    cluster.run_until(lambda: handle.exited)
+    assert got == [b"wake up\n"]
+
+
+def test_dev_tty_resolves_to_controlling_terminal(brick, cluster):
+    from repro.kernel.constants import O_RDWR
+    window = brick.add_terminal("ttyp0")
+
+    def prog(argv, env):
+        fd = yield ("open", "/dev/tty", O_RDWR, 0)
+        yield ("write", fd, b"through /dev/tty")
+        return 0
+
+    brick.install_native_program("writer", prog)
+    handle = brick.spawn("/bin/writer", uid=100, tty=window)
+    cluster.run_until(lambda: handle.exited)
+    assert "through /dev/tty" in window.output_text()
+    assert "through /dev/tty" not in brick.console_text()
+
+
+def test_two_terminals_are_independent(brick, cluster):
+    window = brick.add_terminal("ttyp1")
+
+    def prog(argv, env):
+        data = yield ("read", 0, 100)
+        yield ("write", 1, b"got " + data)
+        return 0
+
+    brick.install_native_program("echoer", prog)
+    console_proc = brick.spawn("/bin/echoer", uid=100)
+    window_proc = brick.spawn("/bin/echoer", uid=100, tty=window)
+    window.feed("window line\n")
+    cluster.run_until(lambda: window_proc.exited)
+    assert not console_proc.exited
+    assert "got window line" in window.output_text()
+    brick.type_at_console("console line\n")
+    cluster.run_until(lambda: console_proc.exited)
+    assert "got console line" in brick.console_text()
+
+
+def test_tty_charges_time(brick, cluster):
+    def prog(argv, env):
+        yield ("write", 1, b"x" * 1000)
+        return 0
+
+    handle = run_native(brick, prog)
+    # 1000 chars at tty_char_us each, at least
+    assert handle.proc.stime_us >= 1000 * brick.costs.tty_char_us

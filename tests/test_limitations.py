@@ -1,0 +1,194 @@
+"""Tests reproducing every limitation of section 7.
+
+Each limitation is an *observable behavior* of the simulated system,
+not documentation: the pid-derived temp file really is lost, the
+waiting parent's wait() really fails, the Sun-3 binary really takes
+SIGILL on a Sun-2, and the proposed compatibility extension really
+fixes the first of these.
+"""
+
+import pytest
+
+from repro.costmodel import CostModel
+from repro.core.api import MigrationSite
+from repro.kernel.signals import SIGILL, SIGDUMP
+from tests.conftest import start_counter
+
+
+def migrate_simple(site, handle, source="brick", destination="schooner",
+                   uid=100):
+    site.dumpproc(source, handle.pid, uid=uid)
+    return site.restart(destination, handle.pid, from_host=source,
+                        uid=uid)
+
+
+# -- environment knowledge: getpid() ------------------------------------------
+
+
+def test_pidtemp_breaks_after_migration(site):
+    handle = site.start("brick", "/bin/pidtemp", uid=100)
+    site.run_until(lambda: "? " in site.console("brick"))
+    site.type_at("brick", "probe\n")
+    site.run_until(lambda: "ok" in site.console("brick"))
+    restarted = migrate_simple(site, handle)
+    site.type_at("schooner", "probe\n")
+    site.run_until(lambda: restarted.exited)
+    assert "LOST" in site.console("schooner")
+    assert restarted.exit_status == 1
+
+
+def test_compat_option_fixes_pidtemp():
+    """The section 7 proposal (ablation A5): getpid() keeps returning
+    the old pid for migrated processes, so the temp file is found —
+    but only when the dump and restart happen on the *same* machine
+    namespace for /tmp; run it brick->brick."""
+    site = MigrationSite(costs=CostModel(compat_migrated_ids=True))
+    site.run_quiet()
+    handle = site.start("brick", "/bin/pidtemp", uid=100)
+    site.run_until(lambda: "? " in site.console("brick"))
+    site.type_at("brick", "probe\n")
+    site.run_until(lambda: "ok" in site.console("brick"))
+    site.dumpproc("brick", handle.pid, uid=100)
+    restarted = site.restart("brick", handle.pid, uid=100)
+    site.type_at("brick", "probe\n")
+    site.run_until(
+        lambda: site.console("brick").count("ok") >= 2
+        or restarted.exited)
+    assert not restarted.exited
+    assert site.console("brick").count("ok") >= 2
+
+
+def test_getpid_real_tells_the_truth(site):
+    """The companion syscalls exist for migration-aware programs."""
+    brick = site.machine("brick")
+    out = []
+
+    def prog(argv, env):
+        out.append((yield ("getpid",)))
+        out.append((yield ("getpid_real",)))
+        out.append((yield ("gethostname",)))
+        out.append((yield ("gethostname_real",)))
+        return 0
+
+    from tests.conftest import run_native
+    handle = run_native(brick, prog, name="idprog")
+    assert out[0] == out[1] == handle.pid  # not migrated: identical
+    assert out[2] == out[3] == "brick"
+
+
+# -- waiting parents ------------------------------------------------------------
+
+
+def test_migrated_parent_loses_children(site):
+    handle = site.start("brick", "/bin/waiter", uid=100)
+    site.run_until(lambda: "waiting" in site.console("brick"))
+    restarted = migrate_simple(site, handle)
+    site.run_until(lambda: restarted.exited)
+    assert "wait failed" in site.console("schooner")
+    assert restarted.exit_status == 1
+
+
+def test_unmigrated_parent_reaps_normally(site):
+    handle = site.start("brick", "/bin/waiter", uid=100)
+    site.run_until(lambda: "waiting" in site.console("brick"))
+    site.type_at("brick", "done\n")
+    site.run_until(lambda: handle.exited)
+    assert "reaped pid" in site.console("brick")
+    assert handle.exit_status == 0
+
+
+# -- heterogeneity ------------------------------------------------------------------
+
+
+@pytest.fixture
+def hetero_site():
+    """brick is a Sun-2 (68010), sunny a Sun-3 (68020)."""
+    site = MigrationSite(workstations=("brick", "sunny"),
+                         cpus={"sunny": "mc68020"})
+    site.run_quiet()
+    return site
+
+
+def test_sun3_binary_crashes_on_sun2(hetero_site):
+    """Migrating 68020 code down to a 68010 takes SIGILL at the first
+    68020-only instruction — the paper's crash."""
+    site = hetero_site
+    handle = site.start("sunny", "/bin/envdep", uid=100)
+    site.run_until(lambda: "# " in site.console("sunny"))
+    site.type_at("sunny", "go\n")
+    site.run_until(lambda: "v=4" in site.console("sunny"))
+    site.dumpproc("sunny", handle.pid, uid=100)
+    restarted = site.restart("brick", handle.pid, from_host="sunny",
+                             uid=100)
+    assert restarted.proc.is_vm()  # exec itself succeeded
+    site.type_at("brick", "go\n")
+    site.run_until(lambda: restarted.exited)
+    assert restarted.term_signal == SIGILL
+
+
+def test_sun2_binary_migrates_up_to_sun3(hetero_site):
+    """The upward direction is fine: the 68020 is a superset."""
+    site = hetero_site
+    handle = site.start("brick", "/bin/counter", uid=100)
+    site.run_until(lambda: site.console("brick").count("> ") >= 1)
+    site.type_at("brick", "one\n")
+    site.run_until(lambda: site.console("brick").count("> ") >= 2)
+    site.dumpproc("brick", handle.pid, uid=100)
+    restarted = site.restart("sunny", handle.pid, from_host="brick",
+                             uid=100)
+    site.type_at("sunny", "two\n")
+    site.run_until(lambda: "r=3 s=3 k=3" in site.console("sunny"))
+    assert not restarted.exited
+
+
+def test_native_envdep_runs_fine_at_home(hetero_site):
+    site = hetero_site
+    handle = site.start("sunny", "/bin/envdep", uid=100)
+    site.run_until(lambda: "# " in site.console("sunny"))
+    for i, expected in enumerate(["v=4", "v=13", "v=40"]):
+        site.type_at("sunny", "go\n")
+        site.run_until(lambda: expected in site.console("sunny"))
+    assert not handle.exited
+
+
+# -- sockets ---------------------------------------------------------------------------
+
+
+def test_socket_degrades_to_null_and_process_survives(site):
+    handle = site.start("brick", "/bin/sockuser", uid=100)
+    site.run_until(lambda: "$ " in site.console("brick"))
+    site.type_at("brick", "x\n")
+    site.run_until(lambda: "w=-1" in site.console("brick"))
+    restarted = migrate_simple(site, handle)
+    site.type_at("schooner", "x\n")
+    site.run_until(lambda: "w=1" in site.console("schooner"))
+    assert not restarted.exited  # alive, just disconnected
+
+
+# -- visual programs over rsh -------------------------------------------------------------
+
+
+def test_editor_useless_through_rsh(site):
+    """Restart run remotely via rsh cannot restore terminal modes:
+    the editor's tty state is lost (section 4.1's warning)."""
+    from repro.kernel.constants import TF_RAW, TTY_DEFAULT_FLAGS
+    handle = site.start("brick", "/bin/editor", uid=100)
+    site.run_until(lambda: "=== ed ===" in site.console("brick"))
+    site.dumpproc("brick", handle.pid, uid=100)
+    # run restart on schooner THROUGH rsh (as migrate would when the
+    # command is typed away from the destination); rsh never exits —
+    # it stays attached to the editor — so don't wait for it
+    site.machine("brador").spawn(
+        "/bin/rsh",
+        ["rsh", "schooner", "restart", "-p", str(handle.pid),
+         "-h", "brick"], uid=100, cwd="/tmp")
+    site.run_until(
+        lambda: site.find_restarted("schooner") is not None)
+    site.run(max_steps=200_000)  # let everything settle
+    restarted = site.find_restarted("schooner")
+    assert restarted is not None
+    assert not restarted.zombie()  # alive, blocked on the rsh socket
+    # schooner's console was never switched to raw mode
+    assert site.machine("schooner").console.flags == TTY_DEFAULT_FLAGS
+    # and the editor has no terminal at all
+    assert restarted.user.tty is None

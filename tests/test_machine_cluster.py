@@ -1,0 +1,199 @@
+"""Tests for machines, clocks, events and the cluster driver."""
+
+import pytest
+
+from repro.clock import Clock, Stopwatch, fmt_us
+from repro.costmodel import CostModel
+from repro.machine import Cluster, SimulationStuck
+from tests.conftest import run_native
+
+
+# -- clocks ----------------------------------------------------------------
+
+
+def test_clock_advance():
+    clock = Clock()
+    assert clock.advance(10) == 10
+    assert clock.advance(5) == 15
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+
+
+def test_clock_advance_to_is_monotone():
+    clock = Clock(100)
+    clock.advance_to(50)  # no going back
+    assert clock.now_us == 100
+    clock.advance_to(200)
+    assert clock.now_us == 200
+
+
+def test_stopwatch():
+    clock = Clock()
+    watch = Stopwatch(clock)
+    clock.advance(1234)
+    assert watch.elapsed_us == 1234
+    watch.stop()
+    clock.advance(1)
+    assert watch.elapsed_us == 1234
+
+
+def test_fmt_us():
+    assert fmt_us(12) == "12.0 us"
+    assert fmt_us(2500) == "2.50 ms"
+    assert fmt_us(3_200_000) == "3.200 s"
+
+
+# -- machine basics -----------------------------------------------------------
+
+
+def test_standard_fs_layout(brick):
+    for path in ("/bin", "/dev", "/etc", "/tmp", "/usr/tmp", "/u"):
+        assert brick.fs.resolve_local(path).is_dir()
+    assert brick.fs.resolve_local("/dev/null").is_chr()
+    assert brick.fs.resolve_local("/dev/tty").is_chr()
+    assert brick.fs.resolve_local("/dev/console").is_chr()
+
+
+def test_add_terminal_creates_device(brick):
+    window = brick.add_terminal("ttyp5")
+    assert brick.fs.resolve_local("/dev/ttyp5").is_chr()
+    # idempotent
+    assert brick.add_terminal("ttyp5") is window
+
+
+def test_install_native_program_creates_binary(brick):
+    def prog(argv, env):
+        yield ("getpid",)
+        return 0
+
+    brick.install_native_program("thing", prog, size=4096)
+    inode = brick.fs.resolve_local("/bin/thing")
+    assert inode.size == 4096
+    assert bytes(inode.data[:15]) == b"#!native thing\n"
+    assert inode.mode & 0o111
+
+
+def test_spawn_handle_reports_exit(brick, cluster):
+    def prog(argv, env):
+        yield ("getpid",)
+        return 42
+
+    handle = run_native(brick, prog)
+    assert handle.exited
+    assert handle.exit_status == 42
+    assert handle.term_signal is None
+
+
+def test_post_event_ordering(brick):
+    fired = []
+    brick.post_event(300, lambda: fired.append("c"))
+    brick.post_event(100, lambda: fired.append("a"))
+    brick.post_event(200, lambda: fired.append("b"))
+    brick.clock.advance(250)
+    brick._process_due_events()
+    assert fired == ["a", "b"]
+    brick.clock.advance(100)
+    brick._process_due_events()
+    assert fired == ["a", "b", "c"]
+
+
+def test_idle_machine_fast_forwards_to_events(brick, cluster):
+    fired = []
+    brick.post_event(5_000_000, lambda: fired.append("late"))
+    assert brick.has_work()
+    cluster.run(max_steps=100)
+    assert fired == ["late"]
+    assert brick.clock.now_us >= 5_000_000
+
+
+# -- cluster driver ---------------------------------------------------------------
+
+
+def test_duplicate_machine_name_rejected():
+    cluster = Cluster()
+    cluster.add_machine("x")
+    with pytest.raises(ValueError):
+        cluster.add_machine("x")
+
+
+def test_laggard_machine_steps_first():
+    """The cluster always advances the machine furthest behind."""
+    cluster = Cluster()
+    a = cluster.add_machine("a")
+    b = cluster.add_machine("b")
+    order = []
+    a.post_event(100, lambda: order.append(("a", a.clock.now_us)))
+    b.post_event(50, lambda: order.append(("b", b.clock.now_us)))
+    b.post_event(200, lambda: order.append(("b2", b.clock.now_us)))
+    cluster.run(max_steps=10)
+    assert [name for name, __ in order] == ["b", "a", "b2"]
+
+
+def test_run_until_raises_when_stuck(cluster):
+    with pytest.raises(SimulationStuck):
+        cluster.run_until(lambda: False, max_steps=100)
+
+
+def test_run_until_step_bound(brick, cluster):
+    def spinner(argv, env):
+        while True:
+            yield ("getpid",)
+
+    brick.install_native_program("spinner", spinner)
+    brick.spawn("/bin/spinner", uid=100)
+    with pytest.raises(SimulationStuck):
+        cluster.run_until(lambda: False, max_steps=50)
+
+
+def test_wall_time_and_sync(cluster):
+    a = cluster.machine("brick")
+    b = cluster.machine("schooner")
+    a.clock.advance(500)
+    assert cluster.wall_time_us() == 500
+    cluster.sync_clocks()
+    assert b.clock.now_us == 500
+
+
+def test_run_until_us_bound(brick, cluster):
+    def sleeper(argv, env):
+        while True:
+            yield ("sleep", 1)
+
+    brick.install_native_program("sleeper", sleeper)
+    brick.spawn("/bin/sleeper", uid=100)
+    cluster.run(until_us=3_000_000)
+    assert 3_000_000 <= cluster.wall_time_us() < 5_000_000
+
+
+def test_scheduler_interleaves_two_vm_jobs(brick, cluster):
+    """Round-robin: two hogs make progress together, roughly evenly."""
+    from repro.programs.guest.cpuhog import cpuhog_aout
+    brick.install_aout("cpuhog", cpuhog_aout())
+    h1 = brick.spawn("/bin/cpuhog", ["cpuhog", "50000"], uid=100,
+                     cwd="/tmp")
+    h2 = brick.spawn("/bin/cpuhog", ["cpuhog", "50000"], uid=100,
+                     cwd="/tmp")
+    cluster.run(until_us=brick.clock.now_us + 500_000)
+    assert not h1.exited and not h2.exited
+    ratio = (h1.proc.utime_us + 1) / (h2.proc.utime_us + 1)
+    assert 0.5 < ratio < 2.0
+    cluster.run_until(lambda: h1.exited and h2.exited,
+                      max_steps=20_000_000)
+
+
+def test_cpu_accounting_splits_user_and_system(brick, cluster):
+    from repro.programs.guest.cpuhog import cpuhog_aout
+    brick.install_aout("cpuhog", cpuhog_aout())
+    handle = brick.spawn("/bin/cpuhog", ["cpuhog", "30000"], uid=100,
+                         cwd="/tmp")
+    cluster.run_until(lambda: handle.exited)
+    # a compute loop is overwhelmingly user time
+    assert handle.proc.utime_us > 5 * handle.proc.stime_us
+    # ~10 instructions per iteration at instruction_us each
+    assert handle.proc.utime_us > 30000 * 8 * brick.costs.instruction_us
+
+
+def test_machine_repr_and_console_helpers(brick):
+    assert "brick" in repr(brick)
+    brick.type_at_console("abc\n")
+    assert "abc" in brick.console_text()

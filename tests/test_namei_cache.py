@@ -1,0 +1,116 @@
+"""Tests for the A7 name cache: correctness under mutation."""
+
+import pytest
+
+from repro.costmodel import CostModel
+from repro.errors import ENOENT
+from repro.kernel.constants import O_CREAT, O_RDONLY, O_WRONLY
+from repro.machine import Cluster
+from tests.conftest import run_native
+
+
+@pytest.fixture
+def cached_machine():
+    cluster = Cluster(CostModel(namei_cache=True))
+    machine = cluster.add_machine("brick")
+    machine.fs.install_file("/etc/target", b"data", mode=0o644)
+    return machine, cluster
+
+
+def test_repeat_lookups_hit_the_cache(cached_machine):
+    machine, cluster = cached_machine
+
+    def prog(argv, env):
+        for __ in range(10):
+            fd = yield ("open", "/etc/target", O_RDONLY, 0)
+            yield ("close", fd)
+        return 0
+
+    run_native(machine, prog)
+    assert machine.kernel.namei_cache_hits >= 9
+
+
+def test_cache_makes_lookups_cheaper():
+    def workload(argv, env):
+        for __ in range(50):
+            fd = yield ("open", "/etc/target", O_RDONLY, 0)
+            yield ("close", fd)
+        return 0
+
+    results = {}
+    for enabled in (False, True):
+        cluster = Cluster(CostModel(namei_cache=enabled))
+        machine = cluster.add_machine("brick")
+        machine.fs.install_file("/etc/target", b"x", mode=0o644)
+        handle = run_native(machine, workload)
+        results[enabled] = handle.proc.stime_us
+    assert results[True] < results[False]
+
+
+def test_unlink_invalidates(cached_machine):
+    """A cached name must not outlive the file."""
+    machine, cluster = cached_machine
+    out = []
+
+    def prog(argv, env):
+        fd = yield ("open", "/etc/target", O_RDONLY, 0)  # cache it
+        yield ("close", fd)
+        yield ("unlink", "/etc/target")
+        out.append((yield ("open", "/etc/target", O_RDONLY, 0)))
+        return 0
+
+    run_native(machine, prog, uid=0)
+    assert out == [-ENOENT]
+
+
+def test_rename_invalidates(cached_machine):
+    machine, cluster = cached_machine
+    out = []
+
+    def prog(argv, env):
+        fd = yield ("open", "/etc/target", O_RDONLY, 0)
+        yield ("close", fd)
+        yield ("rename", "/etc/target", "/etc/moved")
+        out.append((yield ("open", "/etc/target", O_RDONLY, 0)))
+        fd = yield ("open", "/etc/moved", O_RDONLY, 0)
+        out.append((yield ("read", fd, 10)))
+        return 0
+
+    run_native(machine, prog, uid=0)
+    assert out == [-ENOENT, b"data"]
+
+
+def test_cached_and_uncached_agree():
+    """Same program, same effects, with or without the cache."""
+    def workload(argv, env):
+        fd = yield ("open", "/tmp/new", O_WRONLY | O_CREAT, 0o644)
+        yield ("write", fd, b"abc")
+        yield ("close", fd)
+        yield ("chdir", "/tmp")
+        fd = yield ("open", "new", O_RDONLY, 0)
+        data = yield ("read", fd, 10)
+        yield ("close", fd)
+        fd = yield ("open", "new", O_RDONLY, 0)  # repeat: cache path
+        data2 = yield ("read", fd, 10)
+        return 0 if (data, data2) == (b"abc", b"abc") else 1
+
+    for enabled in (False, True):
+        cluster = Cluster(CostModel(namei_cache=enabled))
+        machine = cluster.add_machine("brick")
+        handle = run_native(machine, workload)
+        assert handle.exit_status == 0
+
+
+def test_migration_still_works_with_cache_on():
+    from repro.core.api import MigrationSite
+    site = MigrationSite(costs=CostModel(namei_cache=True),
+                         daemons=False)
+    handle = site.start("brick", "/bin/counter", uid=100)
+    site.run_until(lambda: site.console("brick").count("> ") >= 1)
+    site.type_at("brick", "one\n")
+    site.run_until(lambda: site.console("brick").count("> ") >= 2)
+    site.dumpproc("brick", handle.pid, uid=100)
+    moved = site.restart("schooner", handle.pid, from_host="brick",
+                         uid=100)
+    site.type_at("schooner", "two\n")
+    site.run_until(lambda: "r=3 s=3 k=3" in site.console("schooner"))

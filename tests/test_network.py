@@ -1,0 +1,221 @@
+"""Tests for the network substrate: sockets, timing, rsh plumbing."""
+
+import pytest
+
+from repro.errors import (EADDRINUSE, ECONNREFUSED, ENOTCONN, EPIPE,
+                          iserr)
+from tests.conftest import run_native
+
+
+def _server(port, reply=b"pong"):
+    def server_main(argv, env):
+        sock = yield ("socket",)
+        result = yield ("bind", sock, port)
+        if iserr(result):
+            return 1
+        yield ("listen", sock)
+        conn = yield ("accept", sock)
+        data = yield ("read", conn, 100)
+        yield ("write", conn, reply + b":" + data)
+        yield ("close", conn)
+        return 0
+    return server_main
+
+
+def _client(host, port, message=b"ping", out=None):
+    def client_main(argv, env):
+        sock = yield ("socket",)
+        result = yield ("connect", sock, host, port)
+        if iserr(result):
+            if out is not None:
+                out.append(result)
+            return 1
+        yield ("write", sock, message)
+        data = yield ("read", sock, 100)
+        if out is not None:
+            out.append(data)
+        yield ("close", sock)
+        return 0
+    return client_main
+
+
+def test_cross_machine_echo(cluster):
+    brick = cluster.machine("brick")
+    schooner = cluster.machine("schooner")
+    out = []
+    schooner.install_native_program("server", _server(4000))
+    brick.install_native_program("client",
+                                 _client("schooner", 4000, out=out))
+    server = schooner.spawn("/bin/server", uid=0)
+    cluster.run(max_steps=10_000)
+    client = brick.spawn("/bin/client", uid=100)
+    cluster.run_until(lambda: client.exited and server.exited)
+    assert out == [b"pong:ping"]
+    assert client.exit_status == 0
+
+
+def test_connect_to_missing_host_refused(cluster):
+    brick = cluster.machine("brick")
+    out = []
+    brick.install_native_program("client",
+                                 _client("ghost", 4000, out=out))
+    handle = brick.spawn("/bin/client", uid=100)
+    cluster.run_until(lambda: handle.exited)
+    assert out == [-ECONNREFUSED]
+
+
+def test_connect_to_closed_port_refused(cluster):
+    brick = cluster.machine("brick")
+    out = []
+    brick.install_native_program("client",
+                                 _client("schooner", 9999, out=out))
+    handle = brick.spawn("/bin/client", uid=100)
+    cluster.run_until(lambda: handle.exited)
+    assert out == [-ECONNREFUSED]
+
+
+def test_double_bind_is_eaddrinuse(cluster):
+    brick = cluster.machine("brick")
+    out = []
+
+    def prog(argv, env):
+        s1 = yield ("socket",)
+        out.append((yield ("bind", s1, 5000)))
+        s2 = yield ("socket",)
+        out.append((yield ("bind", s2, 5000)))
+        return 0
+
+    run_native(brick, prog)
+    assert out == [0, -EADDRINUSE]
+
+
+def test_send_unconnected_is_enotconn(cluster):
+    brick = cluster.machine("brick")
+    out = []
+
+    def prog(argv, env):
+        sock = yield ("socket",)
+        out.append((yield ("write", sock, b"x")))
+        out.append((yield ("read", sock, 10)))
+        return 0
+
+    run_native(brick, prog)
+    assert out == [-ENOTCONN, -ENOTCONN]
+
+
+def test_eof_after_peer_close(cluster):
+    brick = cluster.machine("brick")
+    schooner = cluster.machine("schooner")
+    out = []
+
+    def server_main(argv, env):
+        sock = yield ("socket",)
+        yield ("bind", sock, 4001)
+        yield ("listen", sock)
+        conn = yield ("accept", sock)
+        yield ("write", conn, b"bye")
+        yield ("close", conn)
+        return 0
+
+    def client_main(argv, env):
+        sock = yield ("socket",)
+        yield ("connect", sock, "schooner", 4001)
+        out.append((yield ("read", sock, 10)))
+        out.append((yield ("read", sock, 10)))  # EOF now
+        return 0
+
+    schooner.install_native_program("server", server_main)
+    brick.install_native_program("client", client_main)
+    server = schooner.spawn("/bin/server", uid=0)
+    cluster.run(max_steps=10_000)
+    client = brick.spawn("/bin/client", uid=100)
+    cluster.run_until(lambda: client.exited)
+    assert out == [b"bye", b""]
+
+
+def test_network_transfer_takes_time(cluster):
+    """Moving bytes across the Ethernet advances virtual time."""
+    brick = cluster.machine("brick")
+    schooner = cluster.machine("schooner")
+    payload = b"z" * 50_000
+
+    def server_main(argv, env):
+        sock = yield ("socket",)
+        yield ("bind", sock, 4002)
+        yield ("listen", sock)
+        conn = yield ("accept", sock)
+        total = 0
+        while total < len(payload):
+            data = yield ("read", conn, 65536)
+            if not isinstance(data, bytes) or data == b"":
+                break
+            total += len(data)
+        return 0
+
+    def client_main(argv, env):
+        sock = yield ("socket",)
+        yield ("connect", sock, "schooner", 4002)
+        yield ("write", sock, payload)
+        yield ("close", sock)
+        return 0
+
+    schooner.install_native_program("server", server_main)
+    brick.install_native_program("client", client_main)
+    server = schooner.spawn("/bin/server", uid=0)
+    cluster.run(max_steps=10_000)
+    t0 = schooner.clock.now_us
+    client = brick.spawn("/bin/client", uid=100)
+    cluster.run_until(lambda: server.exited)
+    elapsed = schooner.clock.now_us - t0
+    # 50 KB at ~0.9 us/byte is at least 45 ms of wire time
+    assert elapsed >= len(payload) * cluster.costs.net_byte_us
+    assert cluster.network.bytes_moved >= len(payload)
+
+
+def test_closing_socket_fd_releases_port(cluster):
+    brick = cluster.machine("brick")
+    out = []
+
+    def prog(argv, env):
+        sock = yield ("socket",)
+        yield ("bind", sock, 5001)
+        yield ("close", sock)
+        sock2 = yield ("socket",)
+        out.append((yield ("bind", sock2, 5001)))
+        return 0
+
+    run_native(brick, prog)
+    assert out == [0]
+
+
+def test_write_after_peer_closed_is_epipe(cluster):
+    brick = cluster.machine("brick")
+    schooner = cluster.machine("schooner")
+    out = []
+
+    def server_main(argv, env):
+        sock = yield ("socket",)
+        yield ("bind", sock, 4003)
+        yield ("listen", sock)
+        conn = yield ("accept", sock)
+        yield ("close", conn)
+        yield ("sleep", 10)
+        return 0
+
+    def client_main(argv, env):
+        sock = yield ("socket",)
+        yield ("connect", sock, "schooner", 4003)
+        # wait for the close to arrive
+        data = yield ("read", sock, 10)
+        out.append(data)
+        out.append((yield ("write", sock, b"x")))
+        return 0
+
+    schooner.install_native_program("server", server_main)
+    brick.install_native_program("client", client_main)
+    schooner.spawn("/bin/server", uid=0)
+    cluster.run(max_steps=10_000)
+    client = brick.spawn("/bin/client", uid=100)
+    cluster.run_until(lambda: client.exited)
+    assert out[0] == b""  # EOF
+    assert out[1] == -EPIPE

@@ -1,0 +1,151 @@
+"""Tests for the shell and the small userland."""
+
+import pytest
+
+from repro.programs.shell import tokenize, parse_pipeline
+
+
+# -- parsing --------------------------------------------------------------
+
+
+def test_tokenize_isolates_metacharacters():
+    assert tokenize("cat a|wc>out") == ["cat", "a", "|", "wc", ">",
+                                        "out"]
+    assert tokenize("echo hi >> log") == ["echo", "hi", ">>", "log"]
+    assert tokenize("sleeper &") == ["sleeper", "&"]
+
+
+def test_parse_simple_command():
+    commands = parse_pipeline(["echo", "a", "b"])
+    assert len(commands) == 1
+    assert commands[0].argv == ["echo", "a", "b"]
+
+
+def test_parse_pipeline_stages():
+    commands = parse_pipeline(tokenize("cat f | wc | wc"))
+    assert [c.argv[0] for c in commands] == ["cat", "wc", "wc"]
+
+
+def test_parse_redirections():
+    commands = parse_pipeline(tokenize("wc < in > out"))
+    assert commands[0].stdin_path == "in"
+    assert commands[0].stdout_path == "out"
+    assert not commands[0].stdout_append
+    commands = parse_pipeline(tokenize("echo x >> log"))
+    assert commands[0].stdout_append
+
+
+def test_parse_errors():
+    assert isinstance(parse_pipeline(tokenize("| wc")), str)
+    assert isinstance(parse_pipeline(tokenize("echo >")), str)
+    assert isinstance(parse_pipeline(tokenize("cat f |")), str)
+
+
+# -- execution through the site ------------------------------------------------
+
+
+def sh(site, line, host="brick", uid=100):
+    return site.run_command(host, ["sh", "-c", line], uid=uid)
+
+
+def test_echo_to_console(site):
+    assert sh(site, "echo hello world") == 0
+    assert "hello world" in site.console("brick")
+
+
+def test_redirect_and_cat(site):
+    assert sh(site, "echo first > /tmp/log") == 0
+    assert sh(site, "echo second >> /tmp/log") == 0
+    brick = site.machine("brick")
+    assert brick.fs.read_file("/tmp/log") == b"first\nsecond\n"
+    brick.console.clear_output()
+    assert sh(site, "cat /tmp/log") == 0
+    assert "first\nsecond" in site.console("brick")
+
+
+def test_input_redirection(site):
+    brick = site.machine("brick")
+    brick.fs.install_file("/tmp/data", b"a b c\nd e\n")
+    brick.console.clear_output()
+    assert sh(site, "wc < /tmp/data") == 0
+    # 2 lines, 5 words, 10 bytes
+    assert "2" in site.console("brick")
+    assert "5" in site.console("brick")
+    assert "10" in site.console("brick")
+
+
+def test_pipeline(site):
+    brick = site.machine("brick")
+    brick.fs.install_file("/tmp/data", b"one\ntwo\nthree\n")
+    assert sh(site, "cat /tmp/data | wc > /tmp/counted") == 0
+    out = brick.fs.read_file("/tmp/counted").decode()
+    lines, words, chars = out.split()
+    assert (lines, words, chars) == ("3", "3", "14")
+
+
+def test_three_stage_pipeline(site):
+    brick = site.machine("brick")
+    brick.fs.install_file("/tmp/data", b"x\n")
+    assert sh(site, "cat /tmp/data | cat | cat > /tmp/copied") == 0
+    assert brick.fs.read_file("/tmp/copied") == b"x\n"
+
+
+def test_sequencing_and_exit_status(site):
+    assert sh(site, "true ; true") == 0
+    assert sh(site, "false") == 1
+    assert sh(site, "false ; true") == 0
+    assert sh(site, "true ; false") == 1
+
+
+def test_pipeline_status_is_last_stage(site):
+    assert sh(site, "false | true") == 0
+    assert sh(site, "true | false") == 1
+
+
+def test_unknown_command(site):
+    assert sh(site, "frobnicate") == 1
+    assert "frobnicate" in site.console("brick")
+
+
+def test_cd_builtin_affects_children(site):
+    assert sh(site, "cd /usr/tmp ; pwd > /tmp/where") == 0
+    assert site.machine("brick").fs.read_file("/tmp/where") == \
+        b"/usr/tmp\n"
+
+
+def test_cd_to_missing_directory(site):
+    assert sh(site, "cd /nope") == 1
+    assert "cd: /nope" in site.console("brick")
+
+
+def test_background_and_wait(site):
+    """& returns immediately; wait reaps."""
+    brick = site.machine("brick")
+    t0 = brick.clock.now_us
+    assert sh(site, "cpuhog 30000 & wait") == 0
+    # the hog really ran (wait blocked until it finished)
+    assert "checksum=" in site.console("brick")
+
+
+def test_interactive_shell_session(site):
+    """Drive an interactive shell through the console."""
+    brick = site.machine("brick")
+    handle = brick.spawn("/bin/sh", ["sh"], uid=100, cwd="/tmp")
+    site.run_until(lambda: site.console("brick").endswith("$ "))
+    site.type_at("brick", "echo interactive\n")
+    site.run_until(lambda: "interactive" in site.console("brick"))
+    site.type_at("brick", "exit\n")
+    site.run_until(lambda: handle.exited)
+    assert handle.exit_status == 0
+
+
+def test_rsh_runs_pipelines_remotely(site):
+    """rshd hands the command line to sh -c, so pipelines work."""
+    brick = site.machine("brick")
+    schooner = site.machine("schooner")
+    schooner.fs.install_file("/tmp/remote.txt", b"p\nq\n")
+    status = site.run_command(
+        "brick", ["rsh", "schooner", "cat", "/tmp/remote.txt",
+                  "|", "wc"], uid=100)
+    assert status == 0
+    assert "2" in site.console("brick")

@@ -1,0 +1,141 @@
+"""Tests for the section 9 extension: migrating listening sockets."""
+
+import pytest
+
+from repro.costmodel import CostModel
+from repro.core.api import MigrationSite
+from repro.core.formats import FilesInfo, dump_file_names
+from repro.errors import iserr
+from repro.programs.guest.portserver import PORT
+
+
+@pytest.fixture
+def sockmig_site():
+    site = MigrationSite(
+        costs=CostModel(migrate_listening_sockets=True))
+    site.run_quiet()
+    return site
+
+
+def _client(host, out, message=b"hello"):
+    def client_main(argv, env):
+        from repro.programs.base import read_all
+        sock = yield ("socket",)
+        result = yield ("connect", sock, host, PORT)
+        if iserr(result):
+            out.append(result)
+            return 1
+        yield ("write", sock, message)
+        reply = yield from read_all(sock)  # server closes when done
+        out.append(reply)
+        yield ("close", sock)
+        return 0
+    return client_main
+
+
+def start_server(site, host="brick"):
+    handle = site.start(host, "/bin/portserver", uid=100)
+    site.run_until(lambda: "serving" in site.console(host))
+    return handle
+
+
+def ask(site, client_host, server_host, expect_ok=True):
+    out = []
+    machine = site.machine(client_host)
+    machine.install_native_program("sockclient",
+                                   _client(server_host, out))
+    handle = machine.spawn("/bin/sockclient", uid=100)
+    site.run_until(lambda: handle.exited)
+    return out[0] if out else None
+
+
+def test_server_works_before_migration(sockmig_site):
+    site = sockmig_site
+    start_server(site)
+    assert ask(site, "schooner", "brick") == b"srv:hello"
+
+
+def test_dump_records_bound_port(sockmig_site):
+    site = sockmig_site
+    server = start_server(site)
+    site.dumpproc("brick", server.pid, uid=100)
+    info = FilesInfo.unpack(site.machine("brick").fs.read_file(
+        dump_file_names(server.pid)[1]))
+    bound = [e for e in info.entries if e.is_bound_socket()]
+    assert len(bound) == 1
+    assert bound[0].port == PORT
+    assert bound[0].listening
+
+
+def test_service_survives_migration(sockmig_site):
+    """The headline: the service migrates and keeps serving."""
+    site = sockmig_site
+    server = start_server(site)
+    # serve two requests on brick
+    assert ask(site, "schooner", "brick") == b"srv:hello"
+    assert ask(site, "brador", "brick") == b"srv:hello"
+
+    site.dumpproc("brick", server.pid, uid=100)
+    moved = site.restart("schooner", server.pid, from_host="brick",
+                         uid=100)
+    assert moved.proc.is_vm()
+
+    # the endpoint now answers on schooner (the accept() the server
+    # was blocked in when dumped simply retries on the new socket)
+    assert ask(site, "brick", "schooner") == b"srv:hello"
+    assert not moved.exited
+    # ... and the request counter in the data segment survived: it
+    # has served 3 requests total across both machines
+    image = moved.proc.image.image
+    assert image.read_i32(image.data_base) == 3
+
+
+def test_old_host_stops_answering(sockmig_site):
+    site = sockmig_site
+    server = start_server(site)
+    site.dumpproc("brick", server.pid, uid=100)
+    site.restart("schooner", server.pid, from_host="brick", uid=100)
+    result = ask(site, "brador", "brick")
+    assert iserr(result)  # connection refused on the old host
+
+
+def test_stock_kernel_loses_the_socket(site):
+    """Without the extension the restarted server dies on /dev/null:
+    its accept() returns an error (ENOTSOCK through the null fd)."""
+    server = start_server(site)
+    site.dumpproc("brick", server.pid, uid=100)
+    moved = site.restart("schooner", server.pid, from_host="brick",
+                         uid=100)
+    site.run_until(lambda: moved.exited)
+    assert "socket lost" in site.console("schooner")
+
+
+def test_port_conflict_degrades_to_null(sockmig_site):
+    """If the port is taken on the destination, restart falls back."""
+    site = sockmig_site
+    server = start_server(site, host="brick")
+    # occupy the port on schooner first
+    blocker = start_server(site, host="schooner")
+    site.dumpproc("brick", server.pid, uid=100)
+    moved = site.restart("schooner", server.pid, from_host="brick",
+                         uid=100)
+    site.run_until(lambda: moved.exited)
+    assert "socket lost" in site.console("schooner")
+    # the original schooner server is unharmed
+    assert ask(site, "brick", "schooner") == b"srv:hello"
+
+
+def test_connected_sockets_still_degrade(sockmig_site):
+    """The extension covers *listening* endpoints only; a connected
+    socket still becomes /dev/null (the hard part stays hard)."""
+    site = sockmig_site
+    handle = site.start("brick", "/bin/sockuser", uid=100)
+    site.run_until(lambda: "$ " in site.console("brick"))
+    site.dumpproc("brick", handle.pid, uid=100)
+    info = FilesInfo.unpack(site.machine("brick").fs.read_file(
+        dump_file_names(handle.pid)[1]))
+    # unbound socket: recorded as a plain socket, not a bound one
+    from repro.core.formats import FD_SOCKET
+    kinds = [e.kind for e in info.entries]
+    assert FD_SOCKET in kinds
+    assert not any(e.is_bound_socket() for e in info.entries)

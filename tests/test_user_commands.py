@@ -1,0 +1,131 @@
+"""Tests for the auxiliary user commands: ps, kill, rshd details."""
+
+import pytest
+
+from repro.kernel.signals import SIGDUMP, SIGTERM
+from tests.conftest import start_counter
+
+
+def test_ps_lists_own_processes(site):
+    handle = start_counter(site, uid=100)
+    status = site.run_command("brick", ["ps"], uid=100)
+    assert status == 0
+    text = site.console("brick")
+    assert "PID" in text
+    assert "counter" in text
+
+
+def test_ps_filters_by_user(site):
+    start_counter(site, uid=100)
+    site.machine("brick").console.clear_output()
+    status = site.run_command("brick", ["ps"], uid=101)
+    assert status == 0
+    assert "counter" not in site.console("brick")
+
+
+def test_ps_dash_a_shows_everyone(site):
+    start_counter(site, uid=100)
+    site.machine("brick").console.clear_output()
+    status = site.run_command("brick", ["ps", "-a"], uid=101)
+    assert status == 0
+    assert "counter" in site.console("brick")
+
+
+def test_ps_shows_cpu_time(site):
+    """The load-balancing candidate rule needs believable TIME."""
+    brick = site.machine("brick")
+    handle = site.start("brick", "/bin/cpuhog",
+                        ["cpuhog", "100000"], uid=100)
+    site.run(until_us=brick.clock.now_us + 1_000_000)
+    brick.console.clear_output()
+    site.run_command("brick", ["ps"], uid=100)
+    hog_lines = [line for line in site.console("brick").splitlines()
+                 if "cpuhog" in line]
+    assert hog_lines
+    seconds = float(hog_lines[0].split()[2])
+    assert seconds > 0.1
+
+
+def test_kill_default_signal_is_sigterm(site):
+    handle = start_counter(site, uid=100)
+    status = site.run_command("brick", ["kill", str(handle.pid)],
+                              uid=100)
+    assert status == 0
+    site.run_until(lambda: handle.exited)
+    assert handle.term_signal == SIGTERM
+
+
+def test_kill_dash_32_is_a_manual_sigdump(site):
+    """'A new signal, SIGDUMP ... can be sent using the UNIX kill
+    system call'."""
+    handle = start_counter(site, uid=100)
+    status = site.run_command("brick",
+                              ["kill", "-%d" % SIGDUMP,
+                               str(handle.pid)], uid=100)
+    assert status == 0
+    site.run_until(lambda: handle.exited)
+    assert handle.term_signal == SIGDUMP
+    assert handle.proc.dumped
+
+
+def test_kill_bad_pid_reports(site):
+    status = site.run_command("brick", ["kill", "badpid"], uid=100)
+    assert status == 1
+    assert "bad pid" in site.console("brick")
+
+
+def test_kill_usage(site):
+    assert site.run_command("brick", ["kill"], uid=100) == 1
+
+
+def test_kill_multiple_pids(site):
+    h1 = start_counter(site, uid=100)
+    h2 = site.start("brick", "/bin/counter", uid=100)
+    site.run(until_us=site.machine("brick").clock.now_us + 500_000)
+    status = site.run_command(
+        "brick", ["kill", str(h1.pid), str(h2.pid)], uid=100)
+    assert status == 0
+    site.run_until(lambda: h1.exited and h2.exited)
+
+
+def test_rshd_serves_consecutive_connections(site):
+    """The helper-per-connection design keeps rshd available."""
+    for round_no in range(3):
+        site.machine("brick").console.clear_output()
+        status = site.run_command("brick",
+                                  ["rsh", "schooner", "ps", "-a"],
+                                  uid=100)
+        assert status == 0
+        assert "rshd" in site.console("brick")
+
+
+def test_rsh_usage_errors(site):
+    assert site.run_command("brick", ["rsh"], uid=100) == 1
+    assert site.run_command("brick", ["rsh", "schooner"], uid=100) == 1
+
+
+def test_rsh_unknown_remote_command(site):
+    status = site.run_command("brick",
+                              ["rsh", "schooner", "nosuchcmd"],
+                              uid=100)
+    assert status == 1
+
+
+def test_migrationd_run_works_like_rsh(site):
+    status = site.run_command("brick",
+                              ["migrationd-run", "schooner", "ps",
+                               "-a"], uid=100)
+    assert status == 0
+    assert "migrationd" in site.console("brick")
+
+
+def test_rsh_is_much_slower_than_daemon(site):
+    brick = site.machine("brick")
+    t0 = brick.clock.now_us
+    site.run_command("brick", ["rsh", "schooner", "ps"], uid=100)
+    rsh_time = brick.clock.now_us - t0
+    t0 = brick.clock.now_us
+    site.run_command("brick", ["migrationd-run", "schooner", "ps"],
+                     uid=100)
+    daemon_time = brick.clock.now_us - t0
+    assert rsh_time > 4 * daemon_time

@@ -1,0 +1,296 @@
+"""Tests for the CPU interpreter."""
+
+import pytest
+
+from repro.vm import (assemble, CPU, MC68010, MC68020, parse_aout,
+                      ProcessImage)
+from repro.vm.cpu import TrapStop, FaultStop, QuantumStop, HaltStop
+from repro.vm.image import TEXT_BASE
+
+
+def load(source, cpu="mc68010", mem_size=64 * 1024):
+    """Assemble and load a program into a fresh image."""
+    out = assemble(source, cpu=cpu)
+    header, text, data = parse_aout(out.aout)
+    image = ProcessImage(mem_size=mem_size)
+    image.text_size = header.text_size
+    image.data_size = header.data_size
+    image.bss_size = header.bss_size
+    image.machine_id = header.machine_id
+    image.write_bytes(image.text_base, text)
+    image.write_bytes(image.data_base, data)
+    image.brk = image.data_base + len(data) + header.bss_size
+    image.regs.pc = header.entry
+    image.regs.sp = image.stack_top
+    return image, out
+
+
+def run(source, cpu_model=MC68010, max_instructions=10000, **kw):
+    image, out = load(source, cpu=cpu_model.name
+                      if cpu_model is MC68020 else "mc68010", **kw)
+    stop = CPU(cpu_model).run(image, max_instructions)
+    return image, stop, out
+
+
+def test_move_immediate_to_register():
+    image, stop, _ = run("move #99, d4\ntrap")
+    assert isinstance(stop, TrapStop)
+    assert image.regs.d[4] == 99
+
+
+def test_arithmetic():
+    image, stop, _ = run("""
+        move #10, d0
+        add  #32, d0
+        sub  #2, d0
+        mul  #3, d0
+        div  #4, d0
+        mod  #7, d0
+        trap
+""")
+    assert isinstance(stop, TrapStop)
+    # ((10+32-2)*3)/4 = 30, 30 % 7 = 2
+    assert image.regs.d[0] == 2
+
+
+def test_signed_division_truncates_toward_zero():
+    image, stop, _ = run("""
+        move #-7, d0
+        div  #2, d0
+        move #-7, d1
+        mod  #2, d1
+        trap
+""")
+    assert image.regs.d[0] == -3
+    assert image.regs.d[1] == -1
+
+
+def test_divide_by_zero_faults():
+    image, stop, _ = run("""
+        move #1, d0
+        div  #0, d0
+""")
+    assert isinstance(stop, FaultStop)
+    assert stop.kind == "fpe"
+
+
+def test_logic_and_shifts():
+    image, stop, _ = run("""
+        move #0xF0, d0
+        and  #0x3C, d0
+        or   #0x01, d0
+        xor  #0xFF, d0
+        shl  #4, d1
+        move #1, d1
+        shl  #4, d1
+        shr  #2, d1
+        trap
+""")
+    assert image.regs.d[0] == (((0xF0 & 0x3C) | 1) ^ 0xFF)
+    assert image.regs.d[1] == 4
+
+
+def test_not_and_neg():
+    image, stop, _ = run("""
+        move #5, d0
+        not  d0
+        move #5, d1
+        neg  d1
+        trap
+""")
+    assert image.regs.d[0] == ~5
+    assert image.regs.d[1] == -5
+
+
+def test_memory_store_and_load():
+    image, stop, _ = run("""
+        move #1234, counter
+        move counter, d2
+        trap
+        .data
+counter: .word 0
+""")
+    assert image.regs.d[2] == 1234
+
+
+def test_byte_moves():
+    image, stop, _ = run("""
+        lea  buf, a0
+        movb #'A', (a0)
+        movb (a0), d3
+        trap
+        .data
+buf:    .space 4
+""")
+    assert image.regs.d[3] == ord("A")
+
+
+def test_loop_with_branch():
+    image, stop, _ = run("""
+        move #0, d0
+loop:   add  #1, d0
+        cmp  #10, d0
+        blt  loop
+        trap
+""")
+    assert image.regs.d[0] == 10
+
+
+def test_all_branch_conditions():
+    image, stop, _ = run("""
+        move #0, d7
+        cmp  #5, d3        ; d3=0, so d3-5 < 0
+        blt  lt_ok
+        bra  fail
+lt_ok:  add  #1, d7
+        move #9, d3
+        cmp  #5, d3        ; 9-5 > 0
+        bgt  gt_ok
+        bra  fail
+gt_ok:  add  #1, d7
+        cmp  #9, d3
+        beq  eq_ok
+        bra  fail
+eq_ok:  add  #1, d7
+        cmp  #8, d3
+        bne  ne_ok
+        bra  fail
+ne_ok:  add  #1, d7
+        cmp  #9, d3
+        bge  ge_ok
+        bra  fail
+ge_ok:  add  #1, d7
+        cmp  #9, d3
+        ble  le_ok
+        bra  fail
+le_ok:  add  #1, d7
+        trap
+fail:   move #-1, d7
+        trap
+""")
+    assert image.regs.d[7] == 6
+
+
+def test_jsr_rts():
+    image, stop, _ = run("""
+start:  jsr  sub
+        trap
+sub:    move #7, d5
+        rts
+""")
+    assert isinstance(stop, TrapStop)
+    assert image.regs.d[5] == 7
+    assert image.regs.sp == image.stack_top
+
+
+def test_push_pop():
+    image, stop, _ = run("""
+        push #11
+        push #22
+        pop  d0
+        pop  d1
+        trap
+""")
+    assert image.regs.d[0] == 22
+    assert image.regs.d[1] == 11
+
+
+def test_lea_and_indirect_walk():
+    image, stop, _ = run("""
+        lea  arr, a1
+        move (a1), d0
+        move 4(a1), d1
+        move 8(a1), d2
+        trap
+        .data
+arr:    .word 100, 200, 300
+""")
+    assert (image.regs.d[0], image.regs.d[1], image.regs.d[2]) == \
+        (100, 200, 300)
+
+
+def test_quantum_exhaustion():
+    image, stop, _ = run("""
+loop:   add #1, d0
+        bra loop
+""", max_instructions=100)
+    assert isinstance(stop, QuantumStop)
+    assert stop.executed == 100
+    assert image.regs.d[0] == 50  # two instructions per iteration
+
+
+def test_halt_stops():
+    image, stop, _ = run("halt")
+    assert isinstance(stop, HaltStop)
+
+
+def test_segfault_on_bad_address():
+    image, stop, _ = run("move 0xFFFFFF, d0")
+    assert isinstance(stop, FaultStop)
+    assert stop.kind == "segv"
+
+
+def test_segfault_on_pc_out_of_range():
+    # jump below the text base
+    image, stop, _ = run("bra 0")
+    assert isinstance(stop, FaultStop)
+    assert stop.kind == "segv"
+
+
+def test_68020_binary_faults_on_68010():
+    """The paper's heterogeneity limit: Sun-3 code crashes on a Sun-2."""
+    source = """
+        mull #3, d0
+        trap
+"""
+    image, _ = load(source, cpu="mc68020")
+    stop = CPU(MC68010).run(image, 100)
+    assert isinstance(stop, FaultStop)
+    assert stop.kind == "ill"
+    # ... but runs fine on the 68020
+    image2, _ = load(source, cpu="mc68020")
+    image2.regs.d[0] = 5
+    stop2 = CPU(MC68020).run(image2, 100)
+    assert isinstance(stop2, TrapStop)
+    assert image2.regs.d[0] == 15
+
+
+def test_68010_binary_runs_on_68020():
+    """Upward compatibility: Sun-2 code runs on a Sun-3."""
+    image, _ = load("move #1, d0\ntrap")
+    stop = CPU(MC68020).run(image, 100)
+    assert isinstance(stop, TrapStop)
+
+
+def test_trap_leaves_pc_after_trap():
+    image, stop, out = run("""
+        move #5, d0
+        trap
+        move #6, d0
+        trap
+""")
+    assert isinstance(stop, TrapStop)
+    assert image.regs.d[0] == 5
+    # resuming continues after the trap
+    stop2 = CPU(MC68010).run(image, 100)
+    assert isinstance(stop2, TrapStop)
+    assert image.regs.d[0] == 6
+
+
+def test_wraparound_arithmetic():
+    image, stop, _ = run("""
+        move #0x7FFFFFFF, d0
+        add  #1, d0
+        trap
+""")
+    assert image.regs.d[0] == -(1 << 31)
+
+
+def test_flags_after_cmp():
+    image, stop, _ = run("""
+        move #3, d0
+        cmp  #3, d0
+        trap
+""")
+    assert image.regs.zf
+    assert not image.regs.nf

@@ -1,0 +1,215 @@
+"""Tests for process images, registers and the disassembler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vm import assemble, disassemble
+from repro.vm import isa
+from repro.vm.disasm import disassemble_one
+from repro.vm.image import (ProcessImage, Registers,
+                            SegmentationFault, to_signed, to_unsigned,
+                            TEXT_BASE)
+
+
+# -- int helpers --------------------------------------------------------------
+
+
+def test_to_signed():
+    assert to_signed(0xFFFFFFFF) == -1
+    assert to_signed(0x7FFFFFFF) == 0x7FFFFFFF
+    assert to_signed(0x80000000) == -(1 << 31)
+    assert to_signed(5) == 5
+
+
+def test_to_unsigned():
+    assert to_unsigned(-1) == 0xFFFFFFFF
+    assert to_unsigned(1 << 33) == 0
+
+
+@given(st.integers(-(2 ** 31), 2 ** 31 - 1))
+@settings(max_examples=50)
+def test_signed_unsigned_roundtrip(value):
+    assert to_signed(to_unsigned(value)) == value
+
+
+# -- registers --------------------------------------------------------------------
+
+
+def test_register_pack_roundtrip():
+    regs = Registers()
+    regs.d = [1, -2, 3, -4, 5, -6, 7, -8]
+    regs.a = [10, 20, 30, 40, 50, 60, 70, 0x3F000]
+    regs.pc = 0x1234
+    regs.zf = True
+    regs.nf = False
+    back = Registers.unpack(regs.pack())
+    assert back == regs
+    assert back.sp == 0x3F000
+
+
+def test_register_copy_is_independent():
+    regs = Registers()
+    regs.d[0] = 9
+    copy = regs.copy()
+    copy.d[0] = 5
+    assert regs.d[0] == 9
+
+
+def test_set_flags():
+    regs = Registers()
+    regs.set_flags(0)
+    assert regs.zf and not regs.nf
+    regs.set_flags(-3)
+    assert not regs.zf and regs.nf
+    regs.set_flags(7)
+    assert not regs.zf and not regs.nf
+
+
+def test_sr_encoding():
+    regs = Registers()
+    regs.zf, regs.nf = True, True
+    assert regs.sr == 3
+    regs.sr = 2
+    assert not regs.zf and regs.nf
+
+
+# -- memory ----------------------------------------------------------------------------
+
+
+def test_image_bounds_checking():
+    image = ProcessImage(mem_size=1024)
+    with pytest.raises(SegmentationFault):
+        image.read_u8(1024)
+    with pytest.raises(SegmentationFault):
+        image.write_i32(1022, 5)
+    with pytest.raises(SegmentationFault):
+        image.read_bytes(-1, 4)
+
+
+def test_cstring_roundtrip():
+    image = ProcessImage(mem_size=4096)
+    image.write_cstring(100, "hello")
+    assert image.read_cstring(100) == "hello"
+
+
+def test_unterminated_cstring_faults():
+    image = ProcessImage(mem_size=256)
+    image.write_bytes(0, b"\x01" * 256)
+    with pytest.raises(SegmentationFault):
+        image.read_cstring(0)
+
+
+def test_stack_push_pop():
+    image = ProcessImage(mem_size=4096)
+    image.regs.sp = image.stack_top
+    image.push_i32(-77)
+    image.push_i32(88)
+    assert image.stack_size == 8
+    assert image.pop_i32() == 88
+    assert image.pop_i32() == -77
+
+
+def test_stack_bytes_and_restore():
+    image = ProcessImage(mem_size=4096)
+    image.regs.sp = image.stack_top
+    for value in (1, 2, 3):
+        image.push_i32(value)
+    saved = image.stack_bytes()
+    assert len(saved) == 12
+    other = ProcessImage(mem_size=8192)
+    other.regs.sp = other.stack_top
+    other.restore_stack(saved)
+    assert other.regs.sp == other.stack_top - 12
+    assert other.pop_i32() == 3
+
+
+def test_restore_stack_overflow_faults():
+    image = ProcessImage(mem_size=4096)
+    image.brk = 4000
+    with pytest.raises(SegmentationFault):
+        image.restore_stack(b"\x00" * 200)
+
+
+def test_image_copy_is_deep():
+    image = ProcessImage(mem_size=1024)
+    image.write_u8(500, 7)
+    image.regs.d[3] = 11
+    clone = image.copy()
+    clone.write_u8(500, 9)
+    clone.regs.d[3] = 12
+    assert image.read_u8(500) == 7
+    assert image.regs.d[3] == 11
+
+
+def test_text_version_bumped_by_text_writes():
+    image = ProcessImage(mem_size=64 * 1024)
+    image.text_size = 100
+    before = image.text_version
+    image.write_u8(TEXT_BASE + 10, 1)  # inside text
+    assert image.text_version == before + 1
+    mid = image.text_version
+    image.write_u8(TEXT_BASE + 200, 1)  # past text: data
+    assert image.text_version == mid
+
+
+# -- disassembler -------------------------------------------------------------------------
+
+
+def test_disassemble_simple_program():
+    out = assemble("""
+start:  move  #42, d1
+        add   d1, d2
+        cmp   #0, d2
+        beq   start
+        trap
+""")
+    lines = disassemble(out.text, base=TEXT_BASE)
+    assert "move #42, d1" in lines[0]
+    assert "add d1, d2" in lines[1]
+    assert "cmp #0, d2" in lines[2]
+    assert "beq 0x1000" in lines[3]
+    assert "trap" in lines[4]
+
+
+def test_disassemble_addressing_modes():
+    out = assemble("""
+        move  (a3), d0
+        move  8(a2), d1
+        move  0x2000, d2
+        lea   0x3000, a1
+        push  d5
+        pop   d6
+        rts
+""")
+    lines = disassemble(out.text)
+    assert "(a3)" in lines[0]
+    assert "8(a2)" in lines[1]
+    assert "0x2000" in lines[2]
+    assert "lea" in lines[3]
+    assert "push d5" in lines[4]
+    assert "pop d6" in lines[5]
+    assert lines[6].endswith("rts")
+
+
+def test_disassemble_count_limit():
+    out = assemble("nop\nnop\nnop\nnop")
+    assert len(disassemble(out.text, count=2)) == 2
+
+
+def test_round_trip_through_disassembler():
+    """Disassembling and reassembling yields identical bytes."""
+    source = """
+start:  move  #1, d0
+loop:   add   #1, d0
+        cmp   #100, d0
+        blt   loop
+        jsr   0x1060
+        trap
+        nop
+        rts
+"""
+    first = assemble(source)
+    relisted = "\n".join(line.split(": ", 1)[1]
+                         for line in disassemble(first.text))
+    second = assemble(relisted)
+    assert first.text == second.text
