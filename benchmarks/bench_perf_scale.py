@@ -1,0 +1,183 @@
+"""Engine benchmark: an N-machine, K-process migration storm.
+
+Runs the same workload twice — once on the reference engine
+(``engine="scan"``: O(M) driver scan per step, lazily-decoding
+interpreter) and once on the fast engine (lazy-heap event-horizon
+driver, predecoded instruction blocks) — then:
+
+* asserts the two engines produced **identical virtual-time results**
+  (clocks, consoles, network traffic, step counts), and
+* writes ``BENCH_perf.json`` with real wall-clock steps/sec for both,
+  the speedup, the fast engine's burst-length histogram and the
+  decode-cache hit rate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_scale.py [--smoke]
+
+The workload: K CPU-bound hogs spread over N machines run for a
+while, then every hog is migrated one machine to the right (dumpproc
+on the source, restart over NFS on the destination), and everything
+runs to completion.  Every hog's printed checksum is verified, so the
+storm double-checks migration correctness while it measures speed.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__) or ".",
+                                os.pardir, "src"))
+
+from repro.clock import RealStopwatch
+from repro.core.api import MigrationSite
+from repro.programs.guest.cpuhog import expected_checksum
+
+DEFAULT_MACHINES = 8
+DEFAULT_PROCS = 32
+DEFAULT_ITERATIONS = 50_000
+SMOKE_ITERATIONS = 5_000
+
+#: virtual time at which the storm strikes (hogs must be mid-loop)
+STORM_AT_US = 150_000.0
+
+
+def run_storm(engine, machines=DEFAULT_MACHINES, procs=DEFAULT_PROCS,
+              iterations=DEFAULT_ITERATIONS):
+    """Run the storm on one engine; returns (fingerprint, stats)."""
+    names = ["w%d" % i for i in range(machines)]
+    site = MigrationSite(workstations=names, server=None,
+                         daemons=False, engine=engine)
+    timer = RealStopwatch()
+    handles = []
+    for k in range(procs):
+        host = names[k % machines]
+        handle = site.start(host, "/bin/cpuhog",
+                            ["cpuhog", str(iterations)], uid=100)
+        handles.append((host, handle))
+
+    site.run(until_us=STORM_AT_US)
+    victims = [(host, handle) for host, handle in handles
+               if not handle.exited]
+    if len(victims) != procs:
+        raise AssertionError(
+            "engine=%s: %d hogs finished before the storm struck; "
+            "raise iterations" % (engine, procs - len(victims)))
+    # the storm, phase 1: dump every hog at once
+    dumps = [site.start(host, "/bin/dumpproc",
+                        ["dumpproc", "-p", str(handle.pid)], uid=100)
+             for host, handle in victims]
+    site.run_until(lambda: all(d.exited for d in dumps),
+                   max_steps=200_000_000)
+    failed = sum(1 for d in dumps if d.exit_status != 0)
+    if failed:
+        raise AssertionError("engine=%s: %d dumps failed"
+                             % (engine, failed))
+    # phase 2: restart every hog one machine to the right, in parallel
+    restarts = [site.start(names[(names.index(host) + 1) % machines],
+                           "/bin/restart",
+                           ["restart", "-p", str(handle.pid),
+                            "-h", host], uid=100)
+                for host, handle in victims]
+    site.run(max_steps=200_000_000)
+    elapsed = timer.elapsed_s()
+    migrated = sum(1 for r in restarts if r.exited)
+
+    consoles = {name: site.console(name) for name in names}
+    checksum = "checksum=%d" % expected_checksum(iterations)
+    finished = sum(text.count(checksum) for text in consoles.values())
+    if finished != procs:
+        raise AssertionError(
+            "engine=%s: %d/%d hogs produced the expected checksum"
+            % (engine, finished, procs))
+    if migrated != procs:
+        raise AssertionError("engine=%s: only %d/%d migrated hogs ran "
+                             "to completion" % (engine, migrated, procs))
+
+    fingerprint = {
+        "wall_us": site.cluster.wall_time_us(),
+        "clocks_us": {n: site.machine(n).clock.now_us for n in names},
+        "consoles": consoles,
+        "net_bytes": site.cluster.network.bytes_moved,
+        "net_messages": site.cluster.network.messages_sent,
+        "steps": site.cluster.perf.steps,
+    }
+    stats = site.cluster.perf.snapshot(elapsed_s=elapsed)
+    stats["migrations"] = migrated
+    return fingerprint, stats
+
+
+def run_benchmark(machines=DEFAULT_MACHINES, procs=DEFAULT_PROCS,
+                  iterations=DEFAULT_ITERATIONS, out="BENCH_perf.json",
+                  verbose=True):
+    def say(msg):
+        if verbose:
+            print(msg, flush=True)
+
+    say("migration storm: %d machines, %d processes, %d iterations"
+        % (machines, procs, iterations))
+    say("running reference engine (scan driver + interpreter)...")
+    scan_print, scan_stats = run_storm("scan", machines, procs,
+                                       iterations)
+    say("  %.2fs, %.0f steps/sec" % (scan_stats["elapsed_s"],
+                                     scan_stats["steps_per_sec"]))
+    say("running fast engine (horizon bursts + predecoded blocks)...")
+    fast_print, fast_stats = run_storm("fast", machines, procs,
+                                       iterations)
+    say("  %.2fs, %.0f steps/sec" % (fast_stats["elapsed_s"],
+                                     fast_stats["steps_per_sec"]))
+
+    if scan_print != fast_print:
+        diverged = [key for key in scan_print
+                    if scan_print[key] != fast_print[key]]
+        raise AssertionError(
+            "engines diverged on virtual-time results: %s" % diverged)
+    say("virtual-time results: identical across engines")
+
+    speedup = (fast_stats["steps_per_sec"]
+               / scan_stats["steps_per_sec"]) \
+        if scan_stats["steps_per_sec"] else float("inf")
+    report = {
+        "benchmark": "bench_perf_scale",
+        "workload": {
+            "machines": machines,
+            "processes": procs,
+            "iterations_per_process": iterations,
+            "migrations": fast_stats["migrations"],
+            "wall_time_us": fast_print["wall_us"],
+        },
+        "engines": {"scan": scan_stats, "fast": fast_stats},
+        "speedup_steps_per_sec": round(speedup, 3),
+        "virtual_time_identical": True,
+    }
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    say("speedup: %.2fx (written to %s)" % (speedup, out))
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--machines", type=int, default=DEFAULT_MACHINES)
+    parser.add_argument("--procs", type=int, default=DEFAULT_PROCS)
+    parser.add_argument("--iterations", type=int,
+                        default=DEFAULT_ITERATIONS)
+    parser.add_argument("--out", default="BENCH_perf.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small iteration count for CI "
+                             "(same storm shape, no speedup gate)")
+    args = parser.parse_args(argv)
+    iterations = SMOKE_ITERATIONS if args.smoke else args.iterations
+    report = run_benchmark(machines=args.machines, procs=args.procs,
+                           iterations=iterations, out=args.out)
+    if not args.smoke and report["speedup_steps_per_sec"] < 3.0:
+        print("FAIL: speedup %.2fx below the 3x target"
+              % report["speedup_steps_per_sec"])
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,29 @@ class Clock:
         return "Clock(%s)" % fmt_us(self.now_us)
 
 
+class RealStopwatch:
+    """Measures *host* (real) time, for engine performance reporting.
+
+    Virtual clocks describe the simulated site; this one answers the
+    only other timing question the project has — how fast the engine
+    itself runs — and feeds ``PerfCounters.snapshot(elapsed_s=...)``.
+    """
+
+    def __init__(self):
+        import time
+        self._counter = time.perf_counter
+        self.start_s = self._counter()
+
+    def elapsed_s(self):
+        return self._counter() - self.start_s
+
+    def restart(self):
+        self.start_s = self._counter()
+
+    def __repr__(self):
+        return "RealStopwatch(%.3fs)" % self.elapsed_s()
+
+
 class Stopwatch:
     """Measures an interval of virtual time against a clock."""
 

@@ -38,9 +38,10 @@ class MigrationSite:
     """The paper's site in a box."""
 
     def __init__(self, costs=None, workstations=("brick", "schooner"),
-                 server="brador", cpus=None, users=None, daemons=True):
+                 server="brador", cpus=None, users=None, daemons=True,
+                 engine="fast"):
         self.costs = costs or CostModel()
-        self.cluster = Cluster(self.costs)
+        self.cluster = Cluster(self.costs, engine=engine)
         self.server_name = server
         cpus = cpus or {}
         names = list(workstations) + ([server] if server else [])

@@ -118,6 +118,9 @@ class ExecSupport:
             image.regs.clear()
             self._build_arg_block(image, argv or [path], envp or [])
         image.regs.pc = header.entry
+        # exec is a whole-image transition: no stale predecoded
+        # instructions may survive into the new program
+        image.invalidate_decode_cache()
 
         proc.image = VMImageState(image)
         proc.command = basename(path)

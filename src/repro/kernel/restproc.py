@@ -83,6 +83,9 @@ class RestProcSupport:
         image.restore_stack(info.stack)
         self.charge(self.costs.copy_byte_us * info.stack_size)
         image.regs.load_from(info.registers)
+        # the overlay replaced text and stack wholesale; any decode
+        # cache predating the overlay must not be resumed into
+        image.invalidate_decode_cache()
 
         # step 8: signal dispositions
         sigstate = info.sigstate.copy()

@@ -32,6 +32,10 @@ class Scheduler:
     def enqueue(self, proc):
         if proc not in self.runq:
             self.runq.append(proc)
+            # a newly runnable process moves the machine's
+            # next-action time; tell the cluster's fast driver
+            machine = self.kernel.machine
+            machine.cluster.note_activity(machine)
 
     def remove(self, proc):
         try:

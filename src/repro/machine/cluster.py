@@ -8,11 +8,37 @@ behind symbolic links.
 The simulation driver is conservative parallel discrete-event: the
 machine with the smallest next-action time always steps first, so
 cross-machine messages never arrive in a receiver's past.
+
+Two drivers implement that contract:
+
+* ``engine="fast"`` (the default) keeps machines in a lazy min-heap
+  keyed by next-action time and, once the laggard is chosen, lets it
+  run a *burst* of steps up to its event horizon — the earliest
+  virtual time any other machine could affect it.  In a pure
+  message-passing simulation that is the peers' best next-action
+  time plus the network's minimum message latency (the classic
+  conservative-PDES lookahead); because our machines additionally
+  share synchronous NFS state, the latency term collapses to zero
+  and the horizon is the exact point where the reference scan would
+  stop picking this machine.  The horizon is recomputed whenever the
+  bursting machine posts new deliveries, because its own messages
+  can wake a peer early and solicit a reply inside the old window.
+* ``engine="scan"`` is the original reference driver: an O(M) scan
+  per step.  It is kept for benchmarking and as the executable
+  specification the fast driver must agree with step for step.
+
+Both produce identical virtual-time results; the fast driver only
+changes how much *real* time the host spends finding the next event.
 """
+
+import heapq
 
 from repro.costmodel import CostModel
 from repro.machine.machine import Machine
 from repro.net.network import Network
+from repro.perf import PerfCounters
+
+_INF = float("inf")
 
 
 class SimulationStuck(Exception):
@@ -22,10 +48,21 @@ class SimulationStuck(Exception):
 class Cluster:
     """A set of machines sharing an Ethernet and NFS cross-mounts."""
 
-    def __init__(self, costs=None):
+    def __init__(self, costs=None, engine="fast"):
+        if engine not in ("fast", "scan"):
+            raise ValueError("unknown engine %r" % engine)
         self.costs = costs or CostModel()
         self.machines = {}
         self.network = Network(self)
+        self.engine = engine
+        self.perf = PerfCounters()
+        # fast-driver state: a lazy min-heap of (next_time, order,
+        # token, machine).  Stale entries are detected by token (bumped
+        # on every re-push) and by re-reading next_time at the top.
+        self._heap = []
+        self._dirty = set()  #: machines whose heap key may have changed
+        self._bursting = None  #: machine currently inside a burst
+        self._horizon_stale = False
 
     # -- topology --------------------------------------------------------------
 
@@ -33,6 +70,14 @@ class Cluster:
         if name in self.machines:
             raise ValueError("duplicate machine %r" % name)
         machine = Machine(name, self, cpu=cpu)
+        # the insertion index is the driver's deterministic tie-break,
+        # mirroring the reference driver's dict-order scan
+        machine.order = len(self.machines)
+        machine.cpu.perf = self.perf
+        if self.engine == "scan":
+            # the reference engine is the *whole* pre-change engine:
+            # O(M) scan driver and lazily-decoding interpreter
+            machine.cpu.use_predecode = False
         self.machines[name] = machine
         return machine
 
@@ -85,9 +130,14 @@ class Cluster:
             machine.clock.advance_to(now)
 
     def step(self):
-        """Step the laggard machine once; False if nothing has work."""
+        """Step the laggard machine once; False if nothing has work.
+
+        This is the reference driver (and the ``engine="scan"``
+        building block): an O(M) scan with dict-insertion-order
+        tie-break, which the fast driver reproduces exactly.
+        """
         best = None
-        best_time = float("inf")
+        best_time = _INF
         for machine in self.machines.values():
             if not machine.has_work():
                 continue
@@ -98,15 +148,22 @@ class Cluster:
         if best is None:
             return False
         best.step()
+        self.perf.steps += 1
         return True
 
     def run(self, max_steps=5_000_000, until_us=None):
         """Run until idle, a time bound, or a step bound."""
-        for __ in range(max_steps):
-            if until_us is not None and self.wall_time_us() >= until_us:
-                return True
-            if not self.step():
-                return True
+        if self.engine == "scan":
+            for __ in range(max_steps):
+                if until_us is not None \
+                        and self.wall_time_us() >= until_us:
+                    return True
+                if not self.step():
+                    return True
+            raise SimulationStuck("exceeded %d steps" % max_steps)
+        status = self._drive(max_steps, until_us=until_us)
+        if status in ("until", "idle"):
+            return True
         raise SimulationStuck("exceeded %d steps" % max_steps)
 
     def run_until(self, predicate, max_steps=5_000_000):
@@ -116,17 +173,155 @@ class Cluster:
         example a process is waiting for terminal input nobody will
         type) or the step bound is hit with the predicate still false.
         """
-        for __ in range(max_steps):
-            if predicate():
-                return
-            if not self.step():
+        if self.engine == "scan":
+            for __ in range(max_steps):
                 if predicate():
                     return
-                raise SimulationStuck(
-                    "cluster idle but the awaited condition is false")
+                if not self.step():
+                    if predicate():
+                        return
+                    raise SimulationStuck(
+                        "cluster idle but the awaited condition is false")
+            raise SimulationStuck("exceeded %d steps" % max_steps)
+        status = self._drive(max_steps, predicate=predicate)
+        if status == "predicate":
+            return
+        if status == "idle":
+            if predicate():
+                return
+            raise SimulationStuck(
+                "cluster idle but the awaited condition is false")
         raise SimulationStuck("exceeded %d steps" % max_steps)
 
     def run_handle(self, handle, max_steps=5_000_000):
         """Run until a SpawnHandle's process has exited."""
         self.run_until(lambda: handle.exited, max_steps=max_steps)
         return handle
+
+    # -- fast driver internals -------------------------------------------------
+
+    def note_activity(self, machine):
+        """A machine's next-action time may have moved (new event or
+        newly runnable process).  Called by :meth:`Machine.post_event`
+        and the scheduler's enqueue."""
+        if self._bursting is not None and machine is not self._bursting:
+            # the bursting machine just scheduled work on a peer; the
+            # peer might now act (and message back) before the old
+            # horizon, so the horizon must be recomputed
+            self._horizon_stale = True
+            self.perf.horizon_invalidations += 1
+        self._dirty.add(machine)
+
+    def _push(self, machine):
+        machine.heap_token += 1
+        heapq.heappush(self._heap,
+                       (machine.next_time(), machine.order,
+                        machine.heap_token, machine))
+
+    def _flush_dirty(self):
+        if self._dirty:
+            for machine in self._dirty:
+                if machine is not self._bursting and machine.has_work():
+                    self._push(machine)
+            self._dirty.clear()
+
+    def _peek(self):
+        """The valid heap top, repairing lazily; None when idle.
+
+        An entry is stale if its token was superseded, its machine is
+        mid-burst, its machine went idle, or its recorded time no
+        longer matches (clocks can be advanced from outside the
+        driver, e.g. by :meth:`sync_clocks`).
+        """
+        heap = self._heap
+        while heap:
+            when, order, token, machine = heap[0]
+            if token != machine.heap_token or machine is self._bursting:
+                heapq.heappop(heap)
+                continue
+            if not machine.has_work():
+                heapq.heappop(heap)
+                machine.heap_token += 1
+                continue
+            now = machine.next_time()
+            if now != when:
+                heapq.heappop(heap)
+                self._push(machine)
+                continue
+            return heap[0]
+        return None
+
+    def _drive(self, max_steps, until_us=None, predicate=None):
+        """The event-horizon batched driver.
+
+        Returns ``"predicate"``, ``"until"`` or ``"idle"``; exhausting
+        ``max_steps`` returns ``"steps"`` and the caller raises.
+
+        Causality argument: the chosen machine is the laggard (minimum
+        next-action time, ties broken by machine order exactly like
+        the reference scan).  While it bursts, no other machine runs.
+        In a pure message-passing PDES the horizon would be the best
+        peer next-action time *plus* the network's minimum message
+        latency (``costs.message_us(0)``) — but our machines also
+        share synchronous state (NFS cross-mounts resolve remote reads
+        and writes instantly, with no delivery event), which collapses
+        the safe latency term to zero.  The horizon is therefore the
+        exact ``(next_time, order)`` key at which the reference scan
+        would stop picking this machine, so the burst reproduces the
+        reference schedule step for step — bursts amortize the pick,
+        they never reorder it.  When the burst posts a delivery to a
+        peer, the peer's next-action time — and hence the horizon —
+        can shrink (the peer may react and message back), so the
+        horizon is recomputed (:meth:`note_activity` flags it).
+        """
+        perf = self.perf
+        steps = 0
+        while steps < max_steps:
+            if predicate is not None and predicate():
+                return "predicate"
+            if until_us is not None and self.wall_time_us() >= until_us:
+                return "until"
+            self._flush_dirty()
+            top = self._peek()
+            if top is None:
+                return "idle"
+            machine = top[3]
+            heapq.heappop(self._heap)
+            self._bursting = machine
+            self._horizon_stale = False
+            order = machine.order
+            burst = 0
+            try:
+                nxt = self._peek()
+                horizon = (nxt[0], nxt[1]) if nxt is not None \
+                    else (_INF, _INF)
+                while steps < max_steps:
+                    # the first step is unconditional: the laggard was
+                    # chosen exactly as the reference scan would
+                    if burst and (machine.next_time(), order) >= horizon:
+                        break
+                    if not machine.step():
+                        break
+                    steps += 1
+                    burst += 1
+                    perf.steps += 1
+                    if predicate is not None and predicate():
+                        return "predicate"
+                    if until_us is not None \
+                            and machine.clock.now_us >= until_us:
+                        # only the bursting machine's clock moved, so
+                        # its clock alone decides the wall-time bound
+                        return "until"
+                    if self._horizon_stale:
+                        self._horizon_stale = False
+                        self._flush_dirty()
+                        nxt = self._peek()
+                        horizon = (nxt[0], nxt[1]) if nxt is not None \
+                            else (_INF, _INF)
+            finally:
+                self._bursting = None
+                perf.note_burst(burst)
+                self._dirty.discard(machine)
+                if machine.has_work():
+                    self._push(machine)
+        return "steps"

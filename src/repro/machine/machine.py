@@ -71,6 +71,10 @@ class Machine:
         self.ports = {}  #: bound sockets by port number
         self._events = []  #: heapq of (time_us, seq, callable)
         self._event_seq = itertools.count()
+        #: fast-driver bookkeeping, maintained by the cluster: the
+        #: deterministic tie-break index and the heap-entry token
+        self.order = 0
+        self.heap_token = 0
         self.kernel = Kernel(self)
         self.console = self.add_terminal("console")
 
@@ -182,6 +186,10 @@ class Machine:
     def post_event(self, when_us, action):
         heapq.heappush(self._events,
                        (when_us, next(self._event_seq), action))
+        # the fast driver must hear about new work: it may move this
+        # machine's next-action time, and — if posted from another
+        # machine's burst — shrink that burst's event horizon
+        self.cluster.note_activity(self)
 
     def _process_due_events(self):
         fired = False

@@ -9,22 +9,28 @@ bind / listen / connect / accept / send / recv / close with EOF — for
 ordinary native programs on top of it.
 """
 
+import itertools
+from collections import deque
+
 from repro.errors import (UnixError, EADDRINUSE, ECONNREFUSED,
                           ENOTCONN, EPIPE, EINVAL)
 from repro.kernel.flow import WouldBlock
 
 
 class SocketState:
-    """One endpoint.  Lives in the kernel file table's socket slot."""
+    """One endpoint.  Lives in the kernel file table's socket slot.
 
-    _ids = iter(range(1, 1 << 30))
+    Ids are allocated by the owning :class:`Network` (one counter per
+    cluster), so two identical runs in fresh clusters hand out
+    identical socket ids regardless of what ran before them.
+    """
 
-    def __init__(self, machine):
-        self.id = next(SocketState._ids)
+    def __init__(self, machine, sock_id):
+        self.id = sock_id
         self.machine = machine
         self.bound_port = None
         self.listening = False
-        self.accept_queue = []
+        self.accept_queue = deque()
         self.peer = None
         self.rx = bytearray()
         self.eof = False
@@ -45,10 +51,21 @@ class Network:
         #: total bytes moved (bench bookkeeping)
         self.bytes_moved = 0
         self.messages_sent = 0
+        #: per-network socket id allocator (reproducible across runs)
+        self._sock_ids = itertools.count(1)
+        #: optional event-trace sink: a list that receives tuples for
+        #: every socket allocation and message delivery (used by the
+        #: determinism tests)
+        self.trace = None
 
     @property
     def costs(self):
         return self.cluster.costs
+
+    @property
+    def min_latency_us(self):
+        """The smallest cross-machine message transit time."""
+        return self.costs.message_us(0)
 
     # -- raw timed delivery -----------------------------------------------
 
@@ -57,12 +74,18 @@ class Network:
         self.bytes_moved += nbytes
         self.messages_sent += 1
         arrival = src_machine.clock.now_us + self.costs.message_us(nbytes)
+        if self.trace is not None:
+            self.trace.append(("msg", src_machine.name,
+                               dst_machine.name, nbytes, arrival))
         dst_machine.post_event(arrival, action)
 
     # -- sockets ------------------------------------------------------------
 
     def sock_create(self, machine):
-        return SocketState(machine)
+        sock = SocketState(machine, next(self._sock_ids))
+        if self.trace is not None:
+            self.trace.append(("sock", sock.id, machine.name))
+        return sock
 
     def sock_bind(self, machine, sock, port):
         if port in machine.ports:
@@ -79,7 +102,7 @@ class Network:
         if not sock.listening:
             raise UnixError(EINVAL, "accept on non-listening socket")
         if sock.accept_queue:
-            return sock.accept_queue.pop(0)
+            return sock.accept_queue.popleft()
         raise WouldBlock(sock)
 
     def sock_connect(self, machine, sock, host, port):
@@ -93,7 +116,7 @@ class Network:
         if listener is None or not listener.listening:
             raise UnixError(ECONNREFUSED, "%s:%d" % (host, port))
         machine.kernel.charge(self.costs.net_rtt_us)
-        server_side = SocketState(dst)
+        server_side = self.sock_create(dst)
         server_side.peer = sock
         server_side.connected = True
         sock.peer = server_side

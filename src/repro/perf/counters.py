@@ -1,0 +1,85 @@
+"""Counters for the fast-path engine.
+
+One :class:`PerfCounters` instance is owned by each
+:class:`~repro.machine.cluster.Cluster` and shared with every machine's
+CPU, so a run's scheduler work (steps, bursts, horizon invalidations)
+and VM work (instructions, predecode cache traffic) land in one place.
+"""
+
+
+class PerfCounters:
+    """Real-time engine statistics for one cluster."""
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        # scheduler driver
+        self.steps = 0  #: machine steps executed by the cluster driver
+        self.bursts = 0  #: event-horizon bursts (fast engine only)
+        self.burst_hist = {}  #: bucket exponent -> burst count
+        self.horizon_invalidations = 0  #: horizons recomputed mid-burst
+        # VM / decode cache
+        self.vm_instructions = 0  #: instructions retired by all CPUs
+        self.instructions_decoded = 0  #: instructions actually decoded
+        self.blocks_compiled = 0  #: straight-line blocks compiled
+        self.block_cache_hits = 0  #: whole text segments reused verbatim
+        self.cache_rebuilds = 0  #: per-image caches (re)built
+
+    # -- recording -------------------------------------------------------
+
+    def note_burst(self, length):
+        """Record one completed burst of ``length`` machine steps."""
+        self.bursts += 1
+        bucket = length.bit_length()  # 0, [1], [2-3], [4-7], ...
+        self.burst_hist[bucket] = self.burst_hist.get(bucket, 0) + 1
+
+    # -- derived figures -------------------------------------------------
+
+    def decode_hit_rate(self):
+        """Fraction of retired instructions that skipped decoding."""
+        if not self.vm_instructions:
+            return 0.0
+        hits = self.vm_instructions - self.instructions_decoded
+        return max(0.0, hits) / self.vm_instructions
+
+    def burst_histogram(self):
+        """The burst-length histogram with human-readable bucket labels."""
+        out = {}
+        for exponent in sorted(self.burst_hist):
+            if exponent == 0:
+                label = "0"
+            elif exponent == 1:
+                label = "1"
+            else:
+                label = "%d-%d" % (1 << (exponent - 1),
+                                   (1 << exponent) - 1)
+            out[label] = self.burst_hist[exponent]
+        return out
+
+    def snapshot(self, elapsed_s=None):
+        """A JSON-ready dict of everything, for BENCH_perf.json."""
+        snap = {
+            "steps": self.steps,
+            "bursts": self.bursts,
+            "burst_histogram": self.burst_histogram(),
+            "horizon_invalidations": self.horizon_invalidations,
+            "vm_instructions": self.vm_instructions,
+            "instructions_decoded": self.instructions_decoded,
+            "blocks_compiled": self.blocks_compiled,
+            "block_cache_hits": self.block_cache_hits,
+            "cache_rebuilds": self.cache_rebuilds,
+            "decode_hit_rate": round(self.decode_hit_rate(), 6),
+        }
+        if elapsed_s is not None:
+            snap["elapsed_s"] = round(elapsed_s, 6)
+            snap["steps_per_sec"] = round(
+                self.steps / elapsed_s, 3) if elapsed_s else 0.0
+            snap["instructions_per_sec"] = round(
+                self.vm_instructions / elapsed_s, 3) if elapsed_s else 0.0
+        return snap
+
+    def __repr__(self):
+        return ("PerfCounters(steps=%d bursts=%d vm=%d hit=%.3f)"
+                % (self.steps, self.bursts, self.vm_instructions,
+                   self.decode_hit_rate()))

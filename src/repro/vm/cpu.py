@@ -18,6 +18,7 @@ crash.
 from repro.vm import isa
 from repro.vm.isa import Op, Mode
 from repro.vm.image import SegmentationFault, to_signed, to_unsigned
+from repro.vm.predecode import INTERP, compile_block
 
 
 class Stop:
@@ -64,6 +65,38 @@ class CPU:
 
     def __init__(self, model):
         self.model = isa.cpu_model(model)
+        #: optional :class:`~repro.perf.PerfCounters` (set by the cluster)
+        self.perf = None
+        #: block compilation switch; the cluster's reference engine
+        #: ("scan") turns it off so benchmarks can measure the
+        #: pre-change engine end to end
+        self.use_predecode = True
+        #: compiled-block registry shared across images with identical
+        #: text, so 32 copies of one program decode its text once
+        self._shared_blocks = {}
+
+    # -- decode-cache management -----------------------------------------
+
+    def _prepare_cache(self, image):
+        """(Re)build an image's decode cache: ``(version, blocks,
+        decoded)`` where ``blocks`` maps pc -> compiled block (shared
+        between images with byte-identical text) and ``decoded`` is the
+        per-image lazy single-instruction cache for out-of-text pcs."""
+        text = bytes(image.mem[image.text_base:
+                               image.text_base + image.text_size])
+        key = (self.model.name, image.text_base, image.mem_size, text)
+        blocks = self._shared_blocks.get(key)
+        perf = self.perf
+        if blocks is None:
+            blocks = {}
+            self._shared_blocks[key] = blocks
+        elif perf is not None:
+            perf.block_cache_hits += 1
+        if perf is not None:
+            perf.cache_rebuilds += 1
+        cache = (image.text_version, blocks, {})
+        image._decode_cache = cache
+        return cache
 
     # -- operand helpers -------------------------------------------------
 
@@ -120,22 +153,59 @@ class CPU:
 
     def run(self, image, max_instructions):
         """Execute until a stop condition; returns a :class:`Stop`."""
+        stop = self._run(image, max_instructions)
+        perf = self.perf
+        if perf is not None:
+            perf.vm_instructions += stop.executed
+        return stop
+
+    def _run(self, image, max_instructions):
         executed = 0
         regs = image.regs
-        # per-image instruction-decode cache, keyed on text_version so
+        # per-image decode cache, keyed on text_version so
         # self-modifying code stays correct
         cache = image._decode_cache
         if cache is None or cache[0] != image.text_version:
-            cache = (image.text_version, {})
-            image._decode_cache = cache
-        decoded = cache[1]
+            cache = self._prepare_cache(image)
+        version, blocks, decoded = cache
+        perf = self.perf
         supports = self.model.opcodes.__contains__
         isize = isa.INSTRUCTION_SIZE
         d = regs.d
         a = regs.a
+        mem = image.mem
+        # Compiled blocks cover the common case; anything they cannot
+        # prove safe bails *before mutating state* so the reference
+        # interpreter below replays it with exact legacy semantics.
+        use_blocks = self.use_predecode
         try:
             while executed < max_instructions:
                 pc = regs.pc
+                if use_blocks:
+                    block = blocks.get(pc)
+                    if block is None:
+                        block, ndecoded = compile_block(
+                            self.model, image, pc)
+                        blocks[pc] = block
+                        if perf is not None and ndecoded:
+                            perf.blocks_compiled += 1
+                            perf.instructions_decoded += ndecoded
+                    if block is not INTERP:
+                        n, npc, zf, nf, sig = block(
+                            d, a, mem, max_instructions - executed,
+                            regs.zf, regs.nf)
+                        executed += n
+                        regs.pc = npc
+                        regs.zf = zf
+                        regs.nf = nf
+                        if sig == 0:
+                            continue
+                        if sig == 1:
+                            return TrapStop(executed)
+                        if sig == 2:
+                            return HaltStop(executed)
+                        pc = npc  # bail: interpret this instruction
+                # ---- one instruction, reference interpreter ----------
                 inst = decoded.get(pc)
                 if inst is None:
                     if pc < image.text_base or \
@@ -143,6 +213,8 @@ class CPU:
                         return FaultStop(executed, "segv", pc)
                     inst = isa.decode(image.mem, pc)
                     decoded[pc] = inst
+                    if perf is not None:
+                        perf.instructions_decoded += 1
                 opcode, src_mode, src, dst_mode, dst = inst
                 if not supports(opcode):
                     return FaultStop(executed, "ill", pc)
@@ -257,6 +329,10 @@ class CPU:
                     self._store(image, dst_mode, dst, image.pop_i32())
                 else:  # pragma: no cover - opcode table is exhaustive
                     return FaultStop(executed - 1, "ill", pc)
+                if use_blocks and image.text_version != version:
+                    # self-modifying code: compiled blocks are stale,
+                    # finish this quantum on the interpreter
+                    use_blocks = False
         except SegmentationFault as fault:
             return FaultStop(executed, "segv", fault.address)
         return QuantumStop(executed)

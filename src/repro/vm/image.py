@@ -212,6 +212,18 @@ class ProcessImage:
         self.write_bytes(address, data)
         return len(data)
 
+    # -- decode-cache interface ------------------------------------------
+
+    def invalidate_decode_cache(self):
+        """Drop any predecoded instruction cache.
+
+        The CPU keys its cache on ``text_version`` so ordinary text
+        writes invalidate implicitly; this explicit hook is for
+        whole-image transitions (exec overlays, ``rest_proc``) where
+        the old cache must not survive into the new program.
+        """
+        self._decode_cache = None
+
     # -- stack helpers ---------------------------------------------------
 
     def push_i32(self, value):

@@ -1,0 +1,381 @@
+"""Predecoded-block compiler for the CPU interpreter.
+
+The text segment of a process image never changes between execs (and
+``text_version`` tells us when it does), so instead of re-decoding and
+re-dispatching every instruction through :meth:`CPU.run`'s if-chain,
+we decode each straight-line run of instructions *once* and compile it
+to a small Python function.  A block function has the signature::
+
+    block(d, a, mem, budget, zf, nf) -> (executed, next_pc, zf, nf, sig)
+
+where ``sig`` is one of the :data:`SIG_OK`/``TRAP``/``HALT``/``BAIL``
+codes below.  ``BAIL`` means the instruction at ``next_pc`` was *not*
+executed and **no state was touched for it**: every guard (address out
+of range, store into the text segment, divide by a runtime zero) fires
+before the first mutation of its instruction, so the interpreter can
+replay the instruction from scratch and produce the exact legacy
+fault behaviour — partial-mutation order, fault pc, executed counts
+and all.  That bail-before-mutate rule is what lets the fast path be
+bit-identical to the reference interpreter.
+
+Anything the compiler cannot prove safe (stores through unknown
+addressing modes, instructions the CPU model faults on, constant
+divides by zero, ``lea`` to a non-address register) simply terminates
+the block; the interpreter handles the next instruction.  Program
+counters outside the text segment get the :data:`INTERP` marker and
+always take the interpreter path, preserving the lazy decode semantics
+for code executed out of data or stack.
+"""
+
+from repro.vm import isa
+from repro.vm.isa import Op, Mode
+from repro.vm.image import to_unsigned
+
+#: marker cached for pcs that must go through the interpreter
+INTERP = "interp"
+
+SIG_OK = 0  #: ran to the end of what it could (or out of budget)
+SIG_TRAP = 1  #: executed a trap instruction
+SIG_HALT = 2  #: executed a halt instruction
+SIG_BAIL = 3  #: instruction at next_pc needs the interpreter (untouched)
+
+#: longest straight-line run compiled into one function
+MAX_BLOCK_LEN = 64
+
+_ISIZE = isa.INSTRUCTION_SIZE
+
+_ALU = {Op.ADD: "+", Op.SUB: "-", Op.MUL: "*", Op.MULL: "*",
+        Op.AND: "&", Op.OR: "|", Op.XOR: "^"}
+
+_COND = {Op.BEQ: "zf", Op.BNE: "not zf", Op.BLT: "nf",
+         Op.BLE: "nf or zf", Op.BGT: "not (nf or zf)", Op.BGE: "not nf"}
+
+_WRAP = ("if %(v)s > 2147483647 or %(v)s < -2147483648: "
+         "%(v)s = ((%(v)s & 4294967295) ^ 2147483648) - 2147483648")
+
+
+class _Uncompilable(Exception):
+    """This instruction must end the block (interpreter handles it)."""
+
+
+class _Ctx:
+    """Per-block compile context: layout constants and bail target."""
+
+    def __init__(self, text_end, mem_size):
+        self.text_end = text_end
+        self.mem_size = mem_size
+        self.n = 0  #: index of the instruction being emitted
+        self.pc = 0  #: its program counter
+
+    def bail(self):
+        """A return that hands this very instruction to the interpreter."""
+        return "return %d, %d, zf, nf, 3" % (self.n, self.pc)
+
+
+def _reg(operand):
+    return operand & 7
+
+
+def _emit_value(lines, ctx, mode, operand, var, byte=False):
+    """Emit code leaving the operand's (guarded) value in ``var``."""
+    if mode == Mode.IMM:
+        lines.append("%s = %d" % (var, (operand & 0xFF) if byte
+                                  else operand))
+        return
+    if mode == Mode.DREG:
+        lines.append("%s = d[%d]%s" % (var, _reg(operand),
+                                       " & 255" if byte else ""))
+        return
+    if mode == Mode.AREG:
+        lines.append("%s = a[%d]%s" % (var, _reg(operand),
+                                       " & 255" if byte else ""))
+        return
+    size = 1 if byte else 4
+    if mode == Mode.ABS:
+        if operand < 0 or operand + size > ctx.mem_size:
+            raise _Uncompilable  # interpreter raises the segv
+        addr = "%d" % operand
+    elif mode == Mode.IND:
+        lines.append("t = a[%d]" % _reg(operand))
+        lines.append("if t < 0 or t + %d > %d: %s"
+                     % (size, ctx.mem_size, ctx.bail()))
+        addr = "t"
+    elif mode == Mode.IND_DISP:
+        disp, reg = isa.unpack_ind_disp(operand)
+        lines.append("t = a[%d] + %d" % (reg, disp))
+        lines.append("if t < 0 or t + %d > %d: %s"
+                     % (size, ctx.mem_size, ctx.bail()))
+        addr = "t"
+    else:
+        raise _Uncompilable
+    if byte:
+        lines.append("%s = mem[%s]" % (var, addr))
+    else:
+        if addr == "t":
+            lines.append("%s = _fb(mem[t:t + 4], 'little')" % var)
+        else:
+            lines.append("%s = _fb(mem[%d:%d], 'little')"
+                         % (var, operand, operand + 4))
+        lines.append("if %s & 2147483648: %s -= 4294967296" % (var, var))
+
+
+def _emit_store(lines, ctx, mode, operand, var, byte=False):
+    """Emit a store of ``var`` (already signed-32 unless byte) to the
+    operand.  Memory stores are guarded against the text segment so a
+    block can never invalidate itself mid-run."""
+    if mode == Mode.DREG:
+        lines.append("d[%d] = %s%s" % (_reg(operand), var,
+                                       " & 255" if byte else ""))
+        return
+    if mode == Mode.AREG:
+        lines.append("a[%d] = %s%s" % (_reg(operand), var,
+                                       " & 255" if byte else ""))
+        return
+    size = 1 if byte else 4
+    if mode == Mode.ABS:
+        if (operand < ctx.text_end
+                or operand + size > ctx.mem_size):
+            raise _Uncompilable  # text write or segv: interpreter's job
+        addr = "%d" % operand
+    elif mode == Mode.IND:
+        lines.append("t = a[%d]" % _reg(operand))
+        lines.append("if t < %d or t + %d > %d: %s"
+                     % (ctx.text_end, size, ctx.mem_size, ctx.bail()))
+        addr = "t"
+    elif mode == Mode.IND_DISP:
+        disp, reg = isa.unpack_ind_disp(operand)
+        lines.append("t = a[%d] + %d" % (reg, disp))
+        lines.append("if t < %d or t + %d > %d: %s"
+                     % (ctx.text_end, size, ctx.mem_size, ctx.bail()))
+        addr = "t"
+    else:
+        raise _Uncompilable  # store to immediate / bad mode: segv
+    if byte:
+        lines.append("mem[%s] = %s & 255" % (addr, var))
+    else:
+        lines.append("mem[%s:%s + 4] = (%s & 4294967295)"
+                     ".to_bytes(4, 'little')" % (addr, addr, var))
+
+
+def _target_expr(mode, operand):
+    """Jump/branch target, matching ``CPU._address`` exactly."""
+    if mode in (Mode.IMM, Mode.ABS):
+        return "%d" % operand
+    if mode == Mode.DREG:
+        return "d[%d]" % _reg(operand)
+    if mode in (Mode.AREG, Mode.IND):
+        return "a[%d]" % _reg(operand)
+    if mode == Mode.IND_DISP:
+        disp, reg = isa.unpack_ind_disp(operand)
+        return "a[%d] + %d" % (reg, disp)
+    raise _Uncompilable  # _address would segv; interpreter's job
+
+
+def _emit_flags(lines, var):
+    lines.append("zf = %s == 0" % var)
+    lines.append("nf = %s < 0" % var)
+
+
+def _emit_instruction(lines, ctx, inst):
+    """Emit one instruction; returns True if it terminates the block."""
+    opcode, sm, s, dm, dv = inst
+    n, pc = ctx.n, ctx.pc
+    done = "return %d, " % (n + 1)
+
+    if opcode == Op.NOP:
+        return False
+    if opcode == Op.HALT:
+        lines.append(done + "%d, zf, nf, 2" % (pc + _ISIZE))
+        return True
+    if opcode == Op.TRAP:
+        lines.append(done + "%d, zf, nf, 1" % (pc + _ISIZE))
+        return True
+
+    if opcode == Op.MOVE:
+        _emit_value(lines, ctx, sm, s, "v")
+        _emit_store(lines, ctx, dm, dv, "v")
+        _emit_flags(lines, "v")
+        return False
+    if opcode == Op.MOVB:
+        _emit_value(lines, ctx, sm, s, "v", byte=True)
+        _emit_store(lines, ctx, dm, dv, "v", byte=True)
+        _emit_flags(lines, "v")
+        return False
+
+    if opcode == Op.LEA:
+        if dm != Mode.AREG:
+            raise _Uncompilable  # "ill" fault with executed - 1
+        if sm in (Mode.IMM, Mode.ABS):
+            lines.append("a[%d] = %d" % (_reg(dv), s))
+            return False
+        lines.append("v = %s" % _target_expr(sm, s))
+        if sm == Mode.IND_DISP:  # the only mode that can overflow
+            lines.append(_WRAP % {"v": "v"})
+        lines.append("a[%d] = v" % _reg(dv))
+        return False
+
+    if opcode in _ALU:
+        _emit_value(lines, ctx, sm, s, "v1")
+        _emit_value(lines, ctx, dm, dv, "v2")
+        if opcode in (Op.AND, Op.OR, Op.XOR):
+            lines.append("v2 = (v2 %s v1) & 4294967295"
+                         % _ALU[opcode])
+        else:
+            lines.append("v2 = v2 %s v1" % _ALU[opcode])
+        lines.append(_WRAP % {"v": "v2"})
+        _emit_store(lines, ctx, dm, dv, "v2")
+        _emit_flags(lines, "v2")
+        return False
+    if opcode in (Op.DIV, Op.DIVL, Op.MOD):
+        if sm == Mode.IMM and s == 0:
+            raise _Uncompilable  # certain fpe: interpreter's job
+        _emit_value(lines, ctx, sm, s, "v1")
+        _emit_value(lines, ctx, dm, dv, "v2")
+        if sm != Mode.IMM:
+            lines.append("if v1 == 0: " + ctx.bail())  # fpe
+        lines.append("q = abs(v2) // abs(v1)")
+        lines.append("if (v2 < 0) != (v1 < 0): q = -q")
+        if opcode == Op.MOD:
+            lines.append("v2 = v2 - q * v1")
+        else:
+            lines.append("v2 = q")
+        lines.append(_WRAP % {"v": "v2"})
+        _emit_store(lines, ctx, dm, dv, "v2")
+        _emit_flags(lines, "v2")
+        return False
+    if opcode in (Op.SHL, Op.SHR, Op.BFEXT):
+        _emit_value(lines, ctx, sm, s, "v1")
+        _emit_value(lines, ctx, dm, dv, "v2")
+        if opcode == Op.SHL:
+            lines.append("v2 = (v2 & 4294967295) << (v1 & 31)")
+        elif opcode == Op.SHR:
+            lines.append("v2 = (v2 & 4294967295) >> (v1 & 31)")
+        else:
+            lines.append("v2 = ((v2 & 4294967295) >> (v1 & 31)) & 255")
+        lines.append(_WRAP % {"v": "v2"})
+        _emit_store(lines, ctx, dm, dv, "v2")
+        _emit_flags(lines, "v2")
+        return False
+    if opcode in (Op.NOT, Op.NEG):
+        _emit_value(lines, ctx, dm, dv, "v2")
+        lines.append("v2 = %sv2" % ("~" if opcode == Op.NOT else "-"))
+        lines.append(_WRAP % {"v": "v2"})
+        _emit_store(lines, ctx, dm, dv, "v2")
+        _emit_flags(lines, "v2")
+        return False
+
+    if opcode == Op.CMP:
+        _emit_value(lines, ctx, sm, s, "v1")
+        _emit_value(lines, ctx, dm, dv, "v2")
+        lines.append("v2 = v2 - v1")
+        lines.append(_WRAP % {"v": "v2"})
+        _emit_flags(lines, "v2")
+        return False
+    if opcode == Op.TST:
+        _emit_value(lines, ctx, dm, dv, "v2")
+        _emit_flags(lines, "v2")
+        return False
+
+    if opcode in isa.BRANCHES:
+        target = _target_expr(sm, s)
+        if opcode == Op.BRA:
+            lines.append(done + "%s, zf, nf, 0" % target)
+            return True
+        lines.append("if %s: %s" % (_COND[opcode],
+                                    done + "%s, zf, nf, 0" % target))
+        return False  # fall through, keep compiling
+
+    if opcode == Op.JSR:
+        target = _target_expr(sm, s)
+        if sm not in (Mode.IMM, Mode.ABS):
+            # capture the target before the push can clobber a7
+            lines.append("u = %s" % target)
+            target = "u"
+        ret = to_unsigned(pc + _ISIZE).to_bytes(4, "little")
+        lines.append("t = a[7] - 4")
+        lines.append("if t < %d or t + 4 > %d: %s"
+                     % (ctx.text_end, ctx.mem_size, ctx.bail()))
+        lines.append("mem[t:t + 4] = %r" % ret)
+        lines.append("a[7] = t")
+        lines.append(done + "%s, zf, nf, 0" % target)
+        return True
+    if opcode == Op.RTS:
+        lines.append("t = a[7]")
+        lines.append("if t < 0 or t + 4 > %d: %s"
+                     % (ctx.mem_size, ctx.bail()))
+        lines.append("v = _fb(mem[t:t + 4], 'little')")
+        lines.append("a[7] = t + 4")
+        lines.append(done + "v, zf, nf, 0")
+        return True
+    if opcode == Op.PUSH:
+        _emit_value(lines, ctx, sm, s, "v")
+        lines.append("t = a[7] - 4")
+        lines.append("if t < %d or t + 4 > %d: %s"
+                     % (ctx.text_end, ctx.mem_size, ctx.bail()))
+        lines.append("mem[t:t + 4] = (v & 4294967295)"
+                     ".to_bytes(4, 'little')")
+        lines.append("a[7] = t")
+        return False
+    if opcode == Op.POP:
+        if dm not in (Mode.DREG, Mode.AREG):
+            raise _Uncompilable  # memory pops keep legacy ordering
+        lines.append("t = a[7]")
+        lines.append("if t < 0 or t + 4 > %d: %s"
+                     % (ctx.mem_size, ctx.bail()))
+        lines.append("v = _fb(mem[t:t + 4], 'little')")
+        lines.append("if v & 2147483648: v -= 4294967296")
+        lines.append("a[7] = t + 4")
+        _emit_store(lines, ctx, dm, dv, "v")
+        return False
+
+    raise _Uncompilable  # unknown opcode: interpreter faults on it
+
+
+def compile_block(model, image, start_pc, max_len=MAX_BLOCK_LEN):
+    """Compile the straight-line run starting at ``start_pc``.
+
+    Returns ``(block_function, n_instructions)``, or ``(INTERP, 0)``
+    when ``start_pc`` is outside the text segment or the very first
+    instruction is uncompilable.
+    """
+    text_end = image.text_base + image.text_size
+    if start_pc < image.text_base or start_pc + _ISIZE > text_end:
+        return INTERP, 0
+    ctx = _Ctx(text_end, image.mem_size)
+    mem = image.mem
+    opcodes = model.opcodes
+    lines = []
+    n = 0
+    pc = start_pc
+    terminated = False
+    while n < max_len and pc + _ISIZE <= text_end:
+        inst = isa.decode(mem, pc)
+        if inst[0] not in opcodes:
+            break  # illegal-instruction fault: interpreter's job
+        mark = len(lines)
+        if n:
+            lines.append("if budget <= %d: return %d, %d, zf, nf, 0"
+                         % (n, n, pc))
+        ctx.n, ctx.pc = n, pc
+        try:
+            terminated = _emit_instruction(lines, ctx, inst)
+        except _Uncompilable:
+            del lines[mark:]
+            break
+        n += 1
+        pc += _ISIZE
+        if terminated:
+            break
+    if n == 0:
+        return INTERP, 0
+    if not terminated:
+        lines.append("return %d, %d, zf, nf, 0" % (n, pc))
+    source = ("def _block(d, a, mem, budget, zf, nf, "
+              "_fb=int.from_bytes):\n    "
+              + "\n    ".join(lines) + "\n")
+    namespace = {}
+    exec(compile(source, "<block@0x%x>" % start_pc, "exec"), namespace)
+    fn = namespace["_block"]
+    fn.block_len = n
+    fn.source = source  # kept for debugging/tests
+    return fn, n

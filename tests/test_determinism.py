@@ -8,8 +8,13 @@ ordering, id()-keyed behavior, hidden randomness).
 from repro.core.api import MigrationSite
 
 
-def _one_full_migration():
-    site = MigrationSite()
+def _one_full_migration(engine="fast"):
+    site = MigrationSite(engine=engine)
+    # record every network event (messages with arrival times, socket
+    # creations with their ids): runs must agree on the full trace,
+    # not just on the end state
+    trace = []
+    site.cluster.network.trace = trace
     site.run_quiet()
     handle = site.start("brick", "/bin/counter", uid=100)
     site.run_until(lambda: site.console("brick").count("> ") >= 1)
@@ -31,6 +36,8 @@ def _one_full_migration():
         "moved_cpu_us": moved.cpu_us(),
         "migrate_status": migrate.exit_status,
         "net_bytes": site.cluster.network.bytes_moved,
+        "steps": site.cluster.perf.steps,
+        "trace": tuple(trace),
     }
 
 
@@ -38,6 +45,14 @@ def test_two_identical_runs_agree_exactly():
     first = _one_full_migration()
     second = _one_full_migration()
     assert first == second
+
+
+def test_fast_and_scan_engines_agree_exactly():
+    """The burst driver and the predecoded VM must be invisible in
+    virtual time: a full migration gives bit-identical results (event
+    trace, socket ids, clocks, consoles, even the step count) on both
+    engines."""
+    assert _one_full_migration("fast") == _one_full_migration("scan")
 
 
 def test_figure_drivers_are_deterministic():
