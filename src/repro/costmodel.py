@@ -91,6 +91,17 @@ class CostModel:
     #: daemon-with-a-well-known-port alternative: one connection to an
     #: already-running server (section 6.4, ablation A1).
 
+    # --- migration retry / timeout policy (not costs) ------------------
+    #: knobs read by the hardened user commands via ``sysctl``; they
+    #: shape retry behaviour, not virtual-time charging.
+    migrate_attempts: int = 3  #: dump/restart attempts before giving up
+    migrate_backoff_s: float = 2.0  #: backoff base between attempts
+    connect_attempts: int = 3  #: migrationd-run connect attempts
+    connect_backoff_s: float = 1.0  #: backoff base between connects
+    net_read_timeout_s: float = 30.0  #: reply-read timeout (daemon run)
+    restart_poll_tries: int = 60  #: migrate polls for the restart ack
+    restart_poll_sleep_s: float = 0.5  #: sleep between ack polls
+
     # --- tty ----------------------------------------------------------
     tty_char_us: float = 90.0  #: per character through the tty queue
     tty_ioctl_us: float = 200.0  #: get/set terminal modes

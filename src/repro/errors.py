@@ -50,6 +50,7 @@ EADDRINUSE = 48  # Address already in use
 ECONNREFUSED = 61  # Connection refused
 ENOTCONN = 57  # Socket is not connected
 ECONNRESET = 54  # Connection reset by peer
+ETIMEDOUT = 60  # Connection timed out
 
 _NAMES = {
     value: name
@@ -90,6 +91,7 @@ _MESSAGES = {
     ECONNREFUSED: "Connection refused",
     ENOTCONN: "Socket is not connected",
     ECONNRESET: "Connection reset by peer",
+    ETIMEDOUT: "Connection timed out",
     EFAULT: "Bad address",
     ESRCH: "No such process",
 }

@@ -1,0 +1,81 @@
+"""The injector: evaluates an armed plan at each named site.
+
+Kernels call :meth:`FaultInjector.check` at control-flow sites (may
+raise or stall) and :meth:`FaultInjector.filter` where a byte blob can
+be corrupted in flight.  With no plan armed both are never reached —
+the kernel-side hooks test ``plan.rules`` first — so unfaulted runs
+pay nothing and trace identically to builds without the subsystem.
+"""
+
+from repro.errors import UnixError
+from repro.faults.plan import FaultPlan
+
+
+def _mangle(data, rng):
+    """Deterministically corrupt a blob.
+
+    The first two bytes are flipped so any magic-number check fails
+    (every dump-file format leads with one), plus one RNG-chosen byte
+    deeper in, so corruption isn't confined to the header.
+    """
+    if not data:
+        return data
+    out = bytearray(data)
+    out[0] ^= 0xFF
+    if len(out) > 1:
+        out[1] ^= 0xFF
+        out[rng.randrange(len(out))] ^= 0xA5
+    return bytes(out)
+
+
+class FaultInjector:
+    """Per-cluster fault state: an armed plan plus hit bookkeeping."""
+
+    def __init__(self, plan=None):
+        self.arm(plan)
+
+    def arm(self, plan=None):
+        """Install ``plan`` (or disarm), resetting all bookkeeping."""
+        self.plan = plan if plan is not None else FaultPlan()
+        self.hits = {}     #: site -> times reached (armed runs only)
+        self.fired = []    #: (site, kind, detail) log in firing order
+
+    def check(self, kernel, site, detail=""):
+        """Control-flow site: apply delay rules, then the first fail
+        rule.  Raises :class:`UnixError` when a fail rule fires."""
+        host = kernel.machine.name
+        self.hits[site] = self.hits.get(site, 0) + 1
+        perf = kernel.machine.cluster.perf
+        failure = None
+        for rule in self.plan.rules:
+            if rule.kind == "corrupt" or not rule.matches(site, host):
+                continue
+            if not rule.note_hit():
+                continue
+            if rule.kind == "delay":
+                perf.faults_injected += 1
+                perf.fault_delay_us += rule.delay_us
+                self.fired.append((site, "delay", detail))
+                kernel.charge_wait(rule.delay_us)
+            elif failure is None:
+                failure = rule
+        if failure is not None:
+            perf.faults_injected += 1
+            self.fired.append((site, "fail", detail))
+            raise UnixError(failure.errno,
+                            "fault injected at %s" % site)
+
+    def filter(self, kernel, site, data, detail=""):
+        """Data site: pass ``data`` through any corrupt rules."""
+        host = kernel.machine.name
+        perf = kernel.machine.cluster.perf
+        for rule in self.plan.rules:
+            if rule.kind != "corrupt" or not rule.matches(site, host):
+                continue
+            if not rule.note_hit():
+                continue
+            perf.faults_injected += 1
+            perf.fault_corruptions += 1
+            self.fired.append((site, "corrupt", detail))
+            data = _mangle(data, rule.rng)
+        return data

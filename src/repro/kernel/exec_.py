@@ -53,7 +53,10 @@ class ExecSupport:
             raise UnixError(EACCES, path)
         if not inode.check_access(proc.user.cred, want_exec=True):
             raise UnixError(EACCES, path)
+        site = "fs.read" if self.fs_is_local(resolved.fs) else "nfs.read"
+        self.fault_check(site, path)
         data = bytes(inode.data)
+        data = self.fault_filter(site, data, path)
         self.io_charge(resolved.fs, max(1, len(data)))
 
         if data.startswith(NATIVE_MAGIC):

@@ -117,6 +117,21 @@ class Kernel(FileSyscalls, ProcSyscalls, MiscSyscalls, ExecSupport,
         """Time passing without a process (device settle etc.)."""
         self.clock.advance(us)
 
+    # -- fault injection ----------------------------------------------------
+
+    def fault_check(self, site, detail=""):
+        """Evaluate a control-flow injection site (no-op unarmed)."""
+        faults = self.machine.cluster.faults
+        if faults.plan.rules:
+            faults.check(self, site, detail)
+
+    def fault_filter(self, site, data, detail=""):
+        """Pass a blob through a data injection site (no-op unarmed)."""
+        faults = self.machine.cluster.faults
+        if faults.plan.rules:
+            return faults.filter(self, site, data, detail)
+        return data
+
     # -- filesystem plumbing ---------------------------------------------------
 
     def fs_is_local(self, fs):
@@ -219,7 +234,10 @@ class Kernel(FileSyscalls, ProcSyscalls, MiscSyscalls, ExecSupport,
         if not inode.check_access(proc.user.cred if proc else None,
                                   want_read=True):
             raise UnixError(EACCES, path)
+        site = "fs.read" if self.fs_is_local(resolved.fs) else "nfs.read"
+        self.fault_check(site, path)
         data = bytes(inode.data)
+        data = self.fault_filter(site, data, path)
         self.io_charge(resolved.fs, len(data))
         return data
 
@@ -228,6 +246,7 @@ class Kernel(FileSyscalls, ProcSyscalls, MiscSyscalls, ExecSupport,
 
         Used by the SIGDUMP dump writer and the core dumper.
         """
+        self.fault_check("fs.kwrite", path)
         resolved = self.namei(proc, path, want_parent=True)
         cred = proc.user.cred if proc is not None else None
         if resolved.inode is None:

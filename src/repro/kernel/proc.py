@@ -83,6 +83,8 @@ class Proc:
         self.old_host = None
         #: callbacks fired on exit (SpawnHandle wiring, wait channels)
         self.exit_hooks = []
+        #: fd -> absolute deadline (us) armed by ``read_timeout``
+        self.io_deadlines = {}
 
     @property
     def ppid(self):

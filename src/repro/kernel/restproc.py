@@ -70,6 +70,15 @@ class RestProcSupport:
         if not overlaid:  # pragma: no cover - execve raises or errors
             raise UnixError(EINVAL, "exec did not complete")
 
+        try:
+            self.fault_check("restproc.overlay", aout_path)
+        except UnixError:
+            # past the point of no return: the caller's image is gone,
+            # so a mid-overlay failure can only kill the process (the
+            # same discipline as the stack-collision check below)
+            self.do_exit(proc, status=1)
+            raise
+
         image = proc.image.image
         if image.stack_top - info.stack_size <= image.brk:
             # should have been caught by exec's allocation check
@@ -96,5 +105,19 @@ class RestProcSupport:
                            proc.cpu_us() - cpu0)
         self.log("rest_proc: pid %d resumed at pc=0x%x"
                  % (proc.pid, image.regs.pc))
+        # the dump files have served their purpose; consuming them
+        # here (a) keeps /usr/tmp clean without trusting user-level
+        # cleanup and (b) gives migrate its success signal — the
+        # a.outXXXXX file disappears exactly when the restart took
+        self._consume_dump_files(proc, aout_path, stack_path)
         # step 9: "the process running is a copy of the old process"
         raise ProcessOverlaid()
+
+    def _consume_dump_files(self, proc, aout_path, stack_path):
+        """Unlink the three dump files after a successful overlay."""
+        head, sep, tail = stack_path.rpartition("/")
+        paths = [aout_path, stack_path]
+        if tail.startswith("stack"):
+            paths.append(head + sep + "files" + tail[len("stack"):])
+        for path in paths:
+            self._kunlink_quiet(proc, path)

@@ -72,9 +72,15 @@ class Scheduler:
             elif action == sig_mod.A_CONT:
                 continue
             elif action == sig_mod.A_DUMP:
-                kernel.dump_process(proc)
-                kernel.do_exit(proc, term_signal=sig)
-                return False
+                if kernel.dump_process(proc) or not proc.is_vm():
+                    # a native process has nothing to dump; the signal
+                    # degenerates to a plain terminate
+                    kernel.do_exit(proc, term_signal=sig)
+                    return False
+                # the dump failed: killing the victim anyway would
+                # lose the process with nothing to restart from, so
+                # it survives and the dump can be retried
+                continue
             elif action == sig_mod.A_CORE:
                 kernel.write_core(proc)
                 kernel.do_exit(proc, term_signal=sig)

@@ -172,9 +172,43 @@ class FileSyscalls:
                 raise WouldBlock(chan)
             self.charge(self.costs.tty_char_us * max(1, len(data)))
             return data
+        site = "fs.read" if self.fs_is_local(entry.fs) else "nfs.read"
+        self.fault_check(site, entry.name or "")
         data = entry.fs.read(entry.inode, entry.offset, nbytes)
+        data = self.fault_filter(site, data, entry.name or "")
         self.io_charge(entry.fs, max(1, len(data)))
         entry.offset += len(data)
+        return data
+
+    def sys_read_timeout(self, proc, fd, nbytes, timeout_s):
+        """``read()`` that fails with ``ETIMEDOUT`` instead of
+        sleeping past a deadline.
+
+        The deadline is set on the first blocked attempt and armed as
+        a wakeup event, so the sleeping reader is re-run at expiry
+        even if no data ever arrives; the usual sleep/retry discipline
+        then re-executes the whole call, which notices the deadline
+        has passed.  A successful read clears the deadline.
+        """
+        from repro.errors import ETIMEDOUT
+        deadlines = proc.io_deadlines
+        try:
+            data = self.sys_read(proc, fd, nbytes)
+        except WouldBlock as blocked:
+            now = self.clock.now_us
+            deadline = deadlines.get(fd)
+            if deadline is None:
+                deadlines[fd] = now + timeout_s * 1_000_000
+                channel = blocked.channel
+                self.machine.post_event(deadlines[fd],
+                                        lambda: self.wakeup(channel))
+            elif now >= deadline:
+                del deadlines[fd]
+                self.machine.cluster.perf.note("timeouts")
+                raise UnixError(ETIMEDOUT,
+                                "read on fd %d" % fd) from None
+            raise
+        deadlines.pop(fd, None)
         return data
 
     def sys_write(self, proc, fd, data):

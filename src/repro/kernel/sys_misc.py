@@ -32,7 +32,7 @@ class MiscSyscalls:
         """Seconds since boot (the simulation epoch)."""
         return int(self.clock.seconds())
 
-    def sys_spawn(self, proc, path, argv, stdio_fd=None):
+    def sys_spawn(self, proc, path, argv, stdio_fd=None, detach=False):
         """Create a child running ``path`` (fork+exec in one step).
 
         Native-program convenience: Python generators cannot be
@@ -47,10 +47,20 @@ class MiscSyscalls:
           "certain terminal modes can not be preserved" over rsh);
         * a 3-tuple wires each individually (None = inherit) — how
           the shell builds pipelines and redirections.
+
+        ``detach`` orphans the child immediately (the double-fork
+        idiom): it is reaped by the kernel on exit and its death never
+        lands on the spawner.  The network daemons use this for their
+        per-connection helpers, so a crashed helper can neither
+        zombify nor take the daemon's accept loop down with it.
         """
+        self.fault_check("proc.spawn", path)
         child = self.machine.create_process(
             path, argv, parent=proc, cred=proc.user.cred,
             cwd=None, tty=proc.user.tty, inherit_from=proc)
+        if detach:
+            child.parent = None
+            proc.children.remove(child)
         if stdio_fd is None:
             return child.pid
         if isinstance(stdio_fd, int):
@@ -116,3 +126,28 @@ class MiscSyscalls:
         if target is None:
             raise UnixError(ESRCH, "pid %d" % pid)
         return target.cpu_us() / 1e6
+
+    def sys_sysctl(self, proc, name):
+        """Read one cost-model / policy knob by name.
+
+        Stands in for 4.3BSD's getkerninfo(): the hardened commands
+        read their retry and timeout policy from the kernel instead of
+        baking numbers into every tool.  Read-only, plain values only.
+        """
+        if not isinstance(name, str) or name.startswith("_"):
+            raise UnixError(EINVAL, "sysctl %r" % (name,))
+        value = getattr(self.costs, name, None)
+        if value is None or callable(value):
+            raise UnixError(EINVAL, "sysctl %r" % (name,))
+        return value
+
+    def sys_perf_note(self, proc, counter, amount=1):
+        """Bump a cluster perf counter from a user command.
+
+        Only the pipeline-hardening counters are writable this way;
+        the engine counters stay kernel-private.
+        """
+        if counter not in ("retries", "timeouts"):
+            raise UnixError(EINVAL, "perf_note %r" % (counter,))
+        self.machine.cluster.perf.note(counter, amount)
+        return 0

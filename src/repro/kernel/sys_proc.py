@@ -60,6 +60,22 @@ class ProcSyscalls:
                 return pid, status
         raise WouldBlock(("wait", proc.pid))
 
+    def sys_reap(self, proc):
+        """Non-blocking wait: ``(pid, status)`` or 0 when no child is
+        dead (or there are no children at all).
+
+        The hardened ``migrate`` polls this between retry rounds; a
+        blocking wait() would deadlock it against its own ack poll.
+        """
+        for child in proc.children:
+            if child.state == SZOMB:
+                status = pack_wait_status(child)
+                pid = child.pid
+                self.procs.remove(child)
+                self.charge(self.costs.filetable_op_us)
+                return pid, status
+        return 0
+
     # -- identity -------------------------------------------------------------
 
     def sys_getpid(self, proc):

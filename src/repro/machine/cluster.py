@@ -34,6 +34,7 @@ changes how much *real* time the host spends finding the next event.
 import heapq
 
 from repro.costmodel import CostModel
+from repro.faults import FaultInjector, FaultPlan
 from repro.machine.machine import Machine
 from repro.net.network import Network
 from repro.perf import PerfCounters
@@ -56,6 +57,7 @@ class Cluster:
         self.network = Network(self)
         self.engine = engine
         self.perf = PerfCounters()
+        self.faults = FaultInjector()
         # fast-driver state: a lazy min-heap of (next_time, order,
         # token, machine).  Stale entries are detected by token (bumped
         # on every re-push) and by re-reading next_time at the top.
@@ -83,6 +85,14 @@ class Cluster:
 
     def machine(self, name):
         return self.machines[name]
+
+    def inject_faults(self, plan, seed=0):
+        """Arm a fault plan: a :class:`FaultPlan` or its textual form
+        (see ``repro.faults.plan``).  Replaces any armed plan."""
+        if isinstance(plan, str):
+            plan = FaultPlan.parse(plan, seed=seed)
+        self.faults.arm(plan)
+        return plan
 
     def exported_fs(self, host):
         """The filesystem served for ``/n/<host>`` lookups.

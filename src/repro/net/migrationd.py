@@ -11,10 +11,17 @@ per-connection authentication dance — only a light ``daemon_setup``
 cost.  ``migrationd-run`` is the matching client, a drop-in for rsh
 (it is what ``migrate -d`` uses).  Ablation A1 measures the
 difference.
+
+Hardening (see DESIGN.md section 7): helpers are spawned *detached*
+so a crashed helper can neither zombify nor stall the accept loop;
+the client retries refused connections with backoff and bounds every
+reply read with a timeout, so a daemon that dies before emitting the
+``\\x00EXIT:`` sentinel costs the caller a bounded wait, not a hang.
 """
 
-from repro.errors import iserr
+from repro.errors import iserr, ETIMEDOUT
 from repro.programs.base import LineReader, print_err, write_all
+from repro.programs.exitcodes import EX_FAIL, EX_TRANSIENT
 
 MIGRATIOND_PORT = 515
 
@@ -33,9 +40,13 @@ def migrationd_main(argv, env):
     while True:
         conn = yield ("accept", sock)
         if iserr(conn):
+            # transient accept failure: don't spin on a hot error
+            yield ("sleep", 1)
             continue
+        # detached: a helper crash must never take the daemon down or
+        # leave a zombie nobody waits for
         child = yield ("spawn", "/bin/migrationd-helper",
-                       ["migrationd-helper"], conn)
+                       ["migrationd-helper"], conn, True)
         yield ("close", conn)
         if iserr(child):
             continue
@@ -71,21 +82,45 @@ def migrationd_run_main(argv, env):
     """Client: ``migrationd-run host command...`` (rsh drop-in)."""
     if len(argv) < 3:
         yield from print_err("usage: migrationd-run host command ...")
-        return 1
+        return EX_FAIL
     host = argv[1]
     command = " ".join(argv[2:])
-    sock = yield ("socket",)
-    result = yield ("connect", sock, host, MIGRATIOND_PORT)
-    if iserr(result):
+    attempts = yield ("sysctl", "connect_attempts")
+    backoff = yield ("sysctl", "connect_backoff_s")
+    timeout = yield ("sysctl", "net_read_timeout_s")
+
+    sock = None
+    for attempt in range(max(1, attempts)):
+        if attempt:
+            yield ("perf_note", "retries")
+            yield ("sleep", backoff * attempt)
+        sock = yield ("socket",)
+        result = yield ("connect", sock, host, MIGRATIOND_PORT)
+        if not iserr(result):
+            break
+        yield ("close", sock)
+        sock = None
+    if sock is None:
         yield from print_err("migrationd-run: %s: connection refused"
                              % host)
-        return 1
+        return EX_FAIL
+
     yield from write_all(sock, "CMD %s\n" % command)
     buffer = bytearray()
-    status = 1
+    status = EX_FAIL
     while True:
-        data = yield ("read", sock, 1024)
+        data = yield ("read_timeout", sock, 1024, timeout)
+        if data == -ETIMEDOUT:
+            if buffer:
+                yield from write_all(1, bytes(buffer))
+            yield from print_err(
+                "migrationd-run: %s: timed out waiting for reply"
+                % host)
+            status = EX_TRANSIENT
+            break
         if iserr(data) or data == b"":
+            # EOF (or error) before the sentinel: the server died on
+            # us — fail promptly rather than looping on empty reads
             if buffer:
                 yield from write_all(1, bytes(buffer))
             break
@@ -99,7 +134,7 @@ def migrationd_run_main(argv, env):
                 status = int(bytes(
                     buffer[index + len(_SENTINEL):line_end]))
             except ValueError:
-                status = 1
+                status = EX_FAIL
             break
     yield ("close", sock)
     return status

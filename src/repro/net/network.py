@@ -102,6 +102,8 @@ class Network:
         if not sock.listening:
             raise UnixError(EINVAL, "accept on non-listening socket")
         if sock.accept_queue:
+            machine.kernel.fault_check("net.accept",
+                                       str(sock.bound_port))
             return sock.accept_queue.popleft()
         raise WouldBlock(sock)
 
@@ -109,6 +111,8 @@ class Network:
         """Connect; the simulation charges the connect RTT here."""
         if sock.connected:
             raise UnixError(EINVAL, "already connected")
+        machine.kernel.fault_check("net.connect",
+                                   "%s:%d" % (host, port))
         dst = self.cluster.machines.get(host)
         if dst is None:
             raise UnixError(ECONNREFUSED, "no host %r" % host)
@@ -131,11 +135,13 @@ class Network:
     def sock_send(self, machine, sock, data):
         if not sock.connected or sock.peer is None:
             raise UnixError(ENOTCONN)
+        machine.kernel.fault_check("net.send", str(sock.id))
         peer = sock.peer
         if peer.closed:
             raise UnixError(EPIPE)
         dst = peer.machine
-        payload = bytes(data)
+        payload = bytes(machine.kernel.fault_filter("net.send", data,
+                                                    str(sock.id)))
 
         def arrive():
             peer.rx.extend(payload)
@@ -146,6 +152,7 @@ class Network:
 
     def sock_recv(self, machine, sock, nbytes):
         if sock.rx:
+            machine.kernel.fault_check("net.read", str(sock.id))
             take = min(nbytes, len(sock.rx))
             data = bytes(sock.rx[:take])
             del sock.rx[:take]

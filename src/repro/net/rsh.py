@@ -89,9 +89,12 @@ def rshd_main(argv, env):
     while True:
         conn = yield ("accept", sock)
         if iserr(conn):
+            # transient accept failure: don't spin on a hot error
+            yield ("sleep", 1)
             continue
+        # detached: a crashed helper must not zombify or kill the loop
         child = yield ("spawn", "/bin/rshd-helper", ["rshd-helper"],
-                       conn)
+                       conn, True)
         yield ("close", conn)
         if iserr(child):
             continue

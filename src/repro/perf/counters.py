@@ -25,6 +25,19 @@ class PerfCounters:
         self.blocks_compiled = 0  #: straight-line blocks compiled
         self.block_cache_hits = 0  #: whole text segments reused verbatim
         self.cache_rebuilds = 0  #: per-image caches (re)built
+        # fault injection / pipeline hardening
+        self.faults_injected = 0  #: fault rules that fired
+        self.fault_delay_us = 0.0  #: virtual time added by delay rules
+        self.fault_corruptions = 0  #: blobs mangled by corrupt rules
+        self.retries = 0  #: retry rounds taken by hardened commands
+        self.timeouts = 0  #: read/poll timeouts hit by hardened commands
+
+    def note(self, name, amount=1):
+        """Bump a counter by name (used by the ``perf_note`` syscall)."""
+        value = getattr(self, name, None)
+        if not isinstance(value, (int, float)):
+            raise ValueError("unknown perf counter %r" % name)
+        setattr(self, name, value + amount)
 
     # -- recording -------------------------------------------------------
 
@@ -70,6 +83,11 @@ class PerfCounters:
             "block_cache_hits": self.block_cache_hits,
             "cache_rebuilds": self.cache_rebuilds,
             "decode_hit_rate": round(self.decode_hit_rate(), 6),
+            "faults_injected": self.faults_injected,
+            "fault_delay_us": self.fault_delay_us,
+            "fault_corruptions": self.fault_corruptions,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
         }
         if elapsed_s is not None:
             snap["elapsed_s"] = round(elapsed_s, 6)

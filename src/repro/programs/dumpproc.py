@@ -19,15 +19,27 @@ Implementation, following section 4.4 step for step:
 
 Only the superuser or the owner of the process can do this — the
 ``kill()`` permission check enforces it.
+
+Hardening (DESIGN.md section 7): dumpproc is idempotent — if the
+process is already gone but its dump exists (a previous round died
+between dump and acknowledgment), it picks up from the dump; it
+verifies the dump (magic + length) before shipping; and its exit
+status tells the caller whether retrying can help (see
+``repro.programs.exitcodes``).
 """
 
-from repro.errors import iserr, errno_name, UnixError
+import struct
+
+from repro.errors import iserr, errno_name, UnixError, EIO, ESRCH
 from repro.kernel.constants import O_RDONLY
-from repro.kernel.signals import SIGDUMP
-from repro.core.formats import FilesInfo, dump_file_names
+from repro.kernel.cred import PACKED_SIZE as CRED_SIZE
+from repro.kernel.signals import SigState, SIGDUMP
+from repro.core.formats import FilesInfo, StackInfo, dump_file_names
 from repro.core.symlinks import resolve_symlinks_syscalls
 from repro.programs.base import (parse_options, print_err, read_file,
                                  write_file)
+from repro.programs.exitcodes import EX_FAIL, EX_TRANSIENT
+from repro.vm.aout import AOUT_MAGIC
 
 #: polling parameters from the paper
 POLL_TRIES = 10
@@ -40,42 +52,67 @@ def dumpproc_main(argv, env):
     opts, __ = parse_options(argv, {"-p": True})
     if not isinstance(opts, dict) or "-p" not in opts:
         yield from print_err(USAGE)
-        return 1
+        return EX_FAIL
     try:
         pid = int(opts["-p"])
     except ValueError:
         yield from print_err(USAGE)
-        return 1
+        return EX_FAIL
+
+    aout_path, files_path, stack_path = dump_file_names(pid)
 
     result = yield ("kill", pid, SIGDUMP)
     if iserr(result):
-        yield from print_err("dumpproc: cannot signal %d: %s"
-                             % (pid, errno_name(-result)))
-        return 1
-
-    aout_path, files_path, __ = dump_file_names(pid)
+        probe = yield ("open", aout_path, O_RDONLY, 0)
+        if result == -ESRCH and not iserr(probe):
+            # the process is gone but its dump exists: a previous
+            # round was cut off after the dump was written.  The
+            # rewriting pass below is idempotent (already-rewritten
+            # names start with /n/), so just pick up from the dump.
+            yield ("close", probe)
+        else:
+            yield from print_err("dumpproc: cannot signal %d: %s"
+                                 % (pid, errno_name(-result)))
+            return EX_FAIL
 
     # wait for the victim to be scheduled and finish writing its dump
+    # (checking the a.out magic through the open we make anyway)
     for attempt in range(POLL_TRIES):
         fd = yield ("open", aout_path, O_RDONLY, 0)
         if not iserr(fd):
+            magic = yield ("read", fd, 2)
             yield ("close", fd)
+            if iserr(magic) or len(magic) < 2 or \
+                    struct.unpack("<H", magic)[0] != AOUT_MAGIC:
+                yield from print_err("dumpproc: bad dump %s"
+                                     % aout_path)
+                return EX_TRANSIENT
             break
         yield ("sleep", POLL_SLEEP_SECONDS)
     else:
         yield from print_err("dumpproc: no dump appeared at %s"
                              % aout_path)
-        return 1
+        return EX_TRANSIENT
+
+    # -- verify the dump before shipping it ---------------------------------
+    # The kernel parsed all three files in full at dump time, so this
+    # guards the *read path* only (magic + length, prefix reads — no
+    # full re-read): any failure is transient, worth a retry round.
+    # The files file gets its magic + full parse in the rewrite pass
+    # right below.
+    status = yield from _verify_stack(stack_path)
+    if status is not None:
+        return status
 
     blob = yield from read_file(files_path)
     if iserr(blob):
         yield from print_err("dumpproc: cannot read %s" % files_path)
-        return 1
+        return EX_TRANSIENT
     try:
         info = FilesInfo.unpack(blob)
     except UnixError:
         yield from print_err("dumpproc: bad magic in %s" % files_path)
-        return 1
+        return EX_TRANSIENT
 
     hostname = yield ("gethostname",)
     info.cwd = yield from _rewrite_path(info.cwd, hostname,
@@ -87,8 +124,50 @@ def dumpproc_main(argv, env):
     result = yield from write_file(files_path, info.pack())
     if iserr(result):
         yield from print_err("dumpproc: cannot rewrite %s" % files_path)
-        return 1
+        return EX_TRANSIENT
     return 0
+
+
+#: magic + credentials + stack size — all rest_proc peeks at first
+_STACK_HEADER = 2 + CRED_SIZE + 4
+
+
+def _verify_stack(stack_path):
+    """yield-from: an exit status on verification failure, else None.
+
+    Magic + length checks only: the stack header, and the stack
+    file's exact expected size.
+    """
+    from repro.vm.image import Registers
+    header = yield from _read_prefix(stack_path, _STACK_HEADER)
+    bad_stack = iserr(header)
+    if not bad_stack:
+        try:
+            __, stack_size = StackInfo.peek_header(header)
+            stat = yield ("stat", stack_path)
+            bad_stack = iserr(stat) or stat.size != (
+                _STACK_HEADER + stack_size + Registers.FORMAT.size
+                + SigState.PACKED_SIZE)
+        except UnixError:
+            bad_stack = True
+    if bad_stack:
+        yield from print_err("dumpproc: bad dump %s" % stack_path)
+        return EX_TRANSIENT
+    return None
+
+
+def _read_prefix(path, nbytes):
+    """yield-from: the first bytes of a file, or a -errno int."""
+    fd = yield ("open", path, O_RDONLY, 0)
+    if iserr(fd):
+        return fd
+    data = yield ("read", fd, nbytes)
+    yield ("close", fd)
+    if iserr(data):
+        return data
+    if len(data) < nbytes:
+        return -EIO  # truncated: the dump is damaged
+    return data
 
 
 def _rewrite_path(path, hostname, terminal_check=True):

@@ -1,0 +1,24 @@
+"""Exit statuses shared by the migration commands.
+
+The hardened pipeline distinguishes *why* a command failed so its
+caller (``migrate``, the chaos tests, a human at the console) can
+decide between retrying and giving up:
+
+* ``EX_OK`` — success.
+* ``EX_FAIL`` — permanent failure: bad usage, permission denied,
+  target process missing.  Retrying cannot help.
+* ``EX_BADDUMP`` — the dump files are missing or corrupt.  The
+  command has removed them (unless told to keep them); a fresh dump
+  is needed.
+* ``EX_TRANSIENT`` — a timing or transport failure (poll timeout,
+  read timeout).  The dump files, if any, are intact; retry is the
+  right response.
+* ``EX_RESTPROC`` — ``rest_proc`` itself rejected the image after
+  the files checked out.
+"""
+
+EX_OK = 0
+EX_FAIL = 1
+EX_BADDUMP = 2
+EX_TRANSIENT = 3
+EX_RESTPROC = 4

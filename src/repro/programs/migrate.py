@@ -6,20 +6,32 @@ and restart internally, by using the remote shell command rsh ... if
 necessary."
 
 ``migrate -p pid [-f fromhost] [-t tohost]`` — both hosts default to
-the machine the command is typed on.  The dump phase is waited for
-(its success gates the restart); the restart phase is only *started*:
-on success the restart process becomes the migrated program, which may
-run forever on migrate's terminal.
-
-With ``-d`` the remote execution goes through the migration daemon
-(``migrationd``) instead of rsh — the faster alternative the paper
-sketches in section 6.4 ("applications will simply send messages to
-the daemon, who will start the processes on their behalf"); this is
+the machine the command is typed on.  With ``-d`` the remote execution
+goes through the migration daemon (``migrationd``) instead of rsh —
+the faster alternative the paper sketches in section 6.4; this is
 ablation A1.
+
+Hardening (DESIGN.md section 7).  The paper's migrate assumed both
+phases succeed; this one owns the pipeline end to end:
+
+* the dump phase is retried (with backoff) on transient failures —
+  a failed kernel dump leaves the victim *running*, so another
+  ``dumpproc`` round can simply try again;
+* the restart phase cannot learn success from an exit status (a
+  successful restart never exits — it *becomes* the migrated
+  process), so the kernel's behaviour of consuming the dump files at
+  the end of ``rest_proc()`` is the ack: migrate polls for
+  ``a.outXXXXX`` to disappear.  Restart is run with ``-k`` so a
+  *failed* attempt keeps the files (and the retry loop its chances);
+  migrate itself removes them when it finally gives up;
+* every retry round is counted on the cluster perf counters.
 """
 
-from repro.errors import iserr, ECHILD
+from repro.errors import iserr, ECHILD, ENOENT
+from repro.kernel.constants import O_RDONLY
+from repro.core.formats import dump_file_names
 from repro.programs.base import parse_options, print_err
+from repro.programs.exitcodes import EX_FAIL, EX_OK
 
 USAGE = "usage: migrate -p pid [-f fromhost] [-t tohost] [-d]"
 
@@ -29,35 +41,101 @@ def migrate_main(argv, env):
                                     "-d": False})
     if not isinstance(opts, dict) or "-p" not in opts:
         yield from print_err(USAGE)
-        return 1
+        return EX_FAIL
     try:
         pid = int(opts["-p"])
     except ValueError:
         yield from print_err(USAGE)
-        return 1
+        return EX_FAIL
     local = yield ("gethostname",)
     source = opts.get("-f") or local
     destination = opts.get("-t") or local
     remote_runner = "migrationd-run" if opts.get("-d") else "rsh"
 
+    attempts = yield ("sysctl", "migrate_attempts")
+    backoff = yield ("sysctl", "migrate_backoff_s")
+    # the dump files as seen from *this* machine (the ack we poll)
+    directory = "/usr/tmp" if source == local \
+        else "/n/%s/usr/tmp" % source
+    dump_paths = dump_file_names(pid, directory)
+
     # -- phase 1: dump on the source host (waited for) ----------------------
     dump_args = ["dumpproc", "-p", str(pid)]
-    status = yield from _run(source, local, dump_args, remote_runner,
-                             wait=True)
-    if status != 0:
+    status = None
+    for attempt in range(max(1, attempts)):
+        if attempt:
+            yield ("perf_note", "retries")
+            yield from print_err("migrate: retrying dump on %s"
+                                 % source)
+            yield ("sleep", backoff * attempt)
+        status = yield from _run(source, local, dump_args,
+                                 remote_runner, wait=True)
+        if status == EX_OK:
+            break
+        if status == EX_FAIL:
+            break  # permanent (no such process, permission): no retry
+    if status != EX_OK:
+        yield from _cleanup(dump_paths)
         yield from print_err("migrate: dump on %s failed" % source)
-        return 1
+        return EX_FAIL
 
-    # -- phase 2: restart on the destination host (fire and forget:
-    #    on success the spawned process *is* the migrated program) -----------
-    restart_args = ["restart", "-p", str(pid), "-h", source]
-    status = yield from _run(destination, local, restart_args,
-                             remote_runner, wait=False)
-    if status != 0:
-        yield from print_err("migrate: restart on %s failed"
-                             % destination)
-        return 1
-    return 0
+    # -- phase 2: restart on the destination host ---------------------------
+    # -k: a failed restart must keep the dump files, both for the next
+    # attempt and so the files' disappearance can only mean success
+    restart_args = ["restart", "-k", "-p", str(pid), "-h", source]
+    for attempt in range(max(1, attempts)):
+        if attempt:
+            yield ("perf_note", "retries")
+            yield from print_err("migrate: retrying restart on %s"
+                                 % destination)
+            yield ("sleep", backoff * attempt)
+        done = yield from _restart_once(destination, local,
+                                        restart_args, remote_runner,
+                                        dump_paths[0])
+        if done:
+            return EX_OK
+    yield from _cleanup(dump_paths)
+    yield from print_err("migrate: restart on %s failed" % destination)
+    return EX_FAIL
+
+
+def _restart_once(destination, local, restart_args, remote_runner,
+                  aout_path):
+    """One restart attempt; True when the ack (consumed dump) lands.
+
+    The attempt is over when either the a.out file disappears (the
+    kernel consumed the dump: success) or the spawned child dies (the
+    restart — or its remote relay — failed).  A child that does
+    neither within the poll budget counts as a failed attempt.
+    """
+    poll_tries = yield ("sysctl", "restart_poll_tries")
+    poll_sleep = yield ("sysctl", "restart_poll_sleep_s")
+    if destination == local:
+        child = yield ("spawn", "/bin/%s" % restart_args[0],
+                       restart_args)
+    else:
+        runner_argv = [remote_runner, destination,
+                       " ".join(restart_args)]
+        child = yield ("spawn", "/bin/%s" % remote_runner, runner_argv)
+    if iserr(child):
+        return False
+    for __ in range(max(1, poll_tries)):
+        fd = yield ("open", aout_path, O_RDONLY, 0)
+        if fd == -ENOENT:
+            return True  # rest_proc consumed the dump: it took
+        if not iserr(fd):
+            yield ("close", fd)
+        reaped = yield ("reap",)
+        if isinstance(reaped, tuple) and reaped[0] == child:
+            return False  # the restart (or its relay) died: retry
+        yield ("sleep", poll_sleep)
+    return False
+
+
+def _cleanup(dump_paths):
+    """Remove whatever dump files the failed pipeline left behind."""
+    for path in dump_paths:
+        yield ("unlink", path)
 
 
 def _run(host, local, command_argv, remote_runner, wait):
@@ -69,13 +147,14 @@ def _run(host, local, command_argv, remote_runner, wait):
         runner_argv = [remote_runner, host, " ".join(command_argv)]
         child = yield ("spawn", "/bin/%s" % remote_runner, runner_argv)
     if iserr(child):
-        return 1
+        return EX_FAIL
     if not wait:
-        return 0
+        return EX_OK
     while True:
         result = yield ("wait",)
         if iserr(result):
-            return 1 if result == -ECHILD else 1
+            return EX_FAIL if result == -ECHILD else EX_FAIL
         reaped, status = result
         if reaped == child:
-            return (status >> 8) & 0xFF if not status & 0x7F else 1
+            return (status >> 8) & 0xFF if not status & 0x7F \
+                else EX_FAIL

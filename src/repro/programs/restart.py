@@ -24,11 +24,21 @@ The fd juggling below keeps copies of restart's own stdio in the top
 descriptor slots while the table is rebuilt, so that when a dumped
 stdio stream cannot be reattached to a terminal (the rsh case) it can
 at least inherit restart's own channel.
+
+Hardening (DESIGN.md section 7): a failed restart reports *why* via
+distinct exit statuses (``repro.programs.exitcodes``) and, when the
+dump itself is bad, removes the orphaned ``a.out/files/stack`` files
+instead of leaving them in ``/usr/tmp`` forever.  ``-k`` suppresses
+the cleanup — ``migrate`` passes it so a failed attempt leaves the
+files for the next retry round (and so their disappearance remains an
+unambiguous success signal).  Permission failures never clean up:
+the files belong to somebody else.
 """
 
 import struct
 
-from repro.errors import iserr, errno_name, UnixError
+from repro.errors import (iserr, errno_name, UnixError, EACCES,
+                          ENOENT, EPERM)
 from repro.kernel.constants import (NOFILE, O_ACCMODE, O_APPEND,
                                     O_RDONLY, O_RDWR, SEEK_SET,
                                     TIOCSETP)
@@ -36,70 +46,75 @@ from repro.core.formats import (FilesInfo, StackInfo, dump_file_names,
                                 FD_FILE, FD_SOCKET, FD_SOCKET_BOUND)
 from repro.kernel.cred import PACKED_SIZE as CRED_SIZE
 from repro.programs.base import parse_options, print_err, read_file
+from repro.programs.exitcodes import (EX_BADDUMP, EX_FAIL,
+                                      EX_RESTPROC, EX_TRANSIENT)
 from repro.vm.aout import AOUT_MAGIC
 
-USAGE = "usage: restart -p pid [-h host]"
+USAGE = "usage: restart -p pid [-h host] [-k]"
 
 #: descriptor slots used to stash restart's own stdio during rebuild
 _SAVE_BASE = NOFILE - 3
 
 
 def restart_main(argv, env):
-    opts, __ = parse_options(argv, {"-p": True, "-h": True})
+    opts, __ = parse_options(argv, {"-p": True, "-h": True,
+                                    "-k": False})
     if not isinstance(opts, dict) or "-p" not in opts:
         yield from print_err(USAGE)
-        return 1
+        return EX_FAIL
     try:
         pid = int(opts["-p"])
     except ValueError:
         yield from print_err(USAGE)
-        return 1
+        return EX_FAIL
+    keep = bool(opts.get("-k"))
 
     local = yield ("gethostname",)
     host = opts.get("-h") or local
     directory = "/usr/tmp" if host == local \
         else "/n/%s/usr/tmp" % host
-    aout_path, files_path, stack_path = dump_file_names(pid, directory)
+    paths = dump_file_names(pid, directory)
+    aout_path, files_path, stack_path = paths
 
     # -- verify the three files and their magic numbers -------------------
     magic = yield from _read_prefix(aout_path, 2)
-    if magic is None or struct.unpack("<H", magic)[0] != AOUT_MAGIC:
+    if iserr(magic) or struct.unpack("<H", magic)[0] != AOUT_MAGIC:
         yield from print_err("restart: %s is not a dumped executable"
                              % aout_path)
-        return 1
+        return (yield from _fail_dump(magic, paths, keep))
 
     files_blob = yield from read_file(files_path)
     if iserr(files_blob):
         yield from print_err("restart: cannot read %s" % files_path)
-        return 1
+        return (yield from _fail_dump(files_blob, paths, keep))
     try:
         info = FilesInfo.unpack(files_blob)
     except UnixError:
         yield from print_err("restart: bad magic in %s" % files_path)
-        return 1
+        return (yield from _fail_dump(0, paths, keep))
 
     # the credentials are the only thing read from stackXXXXX here
     header = yield from _read_prefix(stack_path, 2 + CRED_SIZE + 4)
-    if header is None:
+    if iserr(header):
         yield from print_err("restart: cannot read %s" % stack_path)
-        return 1
+        return (yield from _fail_dump(header, paths, keep))
     try:
         cred, __ = StackInfo.peek_header(header)
     except UnixError:
         yield from print_err("restart: bad magic in %s" % stack_path)
-        return 1
+        return (yield from _fail_dump(0, paths, keep))
 
     # -- adopt the old identity --------------------------------------------
     result = yield ("setreuid", cred.uid, cred.euid)
     if iserr(result):
         yield from print_err("restart: permission denied (%s)"
                              % errno_name(-result))
-        return 1
+        return EX_FAIL  # not our files to remove
     result = yield ("chdir", info.cwd)
     if iserr(result):
         yield from print_err("restart: cannot chdir to %s: %s"
                              % (info.cwd, errno_name(-result)))
-        return 1
+        return EX_FAIL
 
     # -- rebuild the descriptor table ----------------------------------------
     for save in range(3):
@@ -132,18 +147,48 @@ def restart_main(argv, env):
     yield from print_err("restart: rest_proc failed: %s"
                          % errno_name(-result if iserr(result)
                                       else result))
-    return 1
+    if not keep:
+        yield from _cleanup(paths)
+    return EX_RESTPROC
+
+
+def _fail_dump(err, paths, keep):
+    """yield-from: classify a dump-verification failure.
+
+    ``err`` is the failing return value (or 0 for a parse failure).
+    Permission problems are EX_FAIL and never clean up (the dump
+    belongs to somebody else); other read errors are transient (the
+    files may be fine — it is the read that failed); a missing or
+    corrupt file is EX_BADDUMP, and the orphaned remainder is removed
+    unless ``-k`` was given.
+    """
+    if err in (-EACCES, -EPERM):
+        return EX_FAIL
+    if iserr(err) and err != -ENOENT:
+        return EX_TRANSIENT
+    if not keep:
+        yield from _cleanup(paths)
+    return EX_BADDUMP
+
+
+def _cleanup(paths):
+    """Remove the orphaned dump files (best effort)."""
+    for path in paths:
+        yield ("unlink", path)
 
 
 def _read_prefix(path, nbytes):
-    """yield-from: the first bytes of a file, or None."""
+    """yield-from: the first bytes of a file, or a -errno int."""
+    from repro.errors import EIO
     fd = yield ("open", path, O_RDONLY, 0)
     if iserr(fd):
-        return None
+        return fd
     data = yield ("read", fd, nbytes)
     yield ("close", fd)
-    if iserr(data) or len(data) < nbytes:
-        return None
+    if iserr(data):
+        return data
+    if len(data) < nbytes:
+        return -EIO  # truncated: the dump is damaged
     return data
 
 

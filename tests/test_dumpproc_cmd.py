@@ -122,7 +122,9 @@ def test_dumpproc_times_out_on_undumpable_process(site):
     status = site.run_command("brick",
                               ["dumpproc", "-p", str(victim.pid)],
                               uid=100)
-    assert status == 1
+    # EX_TRANSIENT: a caller may retry (the victim could have just
+    # been slow to get scheduled)
+    assert status == 3
     assert "no dump appeared" in site.console("brick")
     # the ten 1-second sleeps really elapsed
     assert brick.clock.now_us - t0 >= 10_000_000

@@ -1,0 +1,280 @@
+"""Chaos suite for the fault-injection layer (DESIGN.md section 7).
+
+Two halves:
+
+* unit tests for the plan grammar and rule semantics — firing is a
+  pure function of the plan, never of the clock;
+* a scenario matrix driving a full daemon-based migration with one
+  fault recipe armed, run under BOTH cluster engines.  Every scenario
+  must either *recover* (the migration completes despite the faults)
+  or *degrade gracefully* (the pipeline gives up with a non-zero
+  status) — and in all cases the invariants hold: no orphaned dump
+  files anywhere, no zombie processes, the cluster still schedules
+  work, and the two engines observed the *identical* run (same fault
+  firings, same statuses, same virtual clocks).
+"""
+
+import pytest
+
+from repro.core.api import MigrationSite
+from repro.costmodel import CostModel
+from repro.errors import ENOSPC, EIO, UnixError
+from repro.faults import FaultPlan, FaultRule
+from repro.faults.injector import _mangle
+from tests.conftest import start_counter
+
+#: knobs shrunk so degrade scenarios stay cheap in virtual time
+FAST_KNOBS = dict(migrate_backoff_s=0.5, connect_backoff_s=0.5,
+                  net_read_timeout_s=5.0, restart_poll_tries=30,
+                  restart_poll_sleep_s=0.5)
+
+
+# -- plan grammar and rule semantics ---------------------------------------
+
+
+def test_parse_multi_clause_spec():
+    plan = FaultPlan.parse("""
+        # dump failures
+        dump.write.files fail n=1 errno=ENOSPC
+        net.read delay n=2 delay=0.8; nfs.read corrupt skip=1
+        net.connect fail n=* host=brick
+    """, seed=42)
+    assert len(plan.rules) == 4
+    first = plan.rules[0]
+    assert (first.site, first.kind, first.count, first.errno) == \
+        ("dump.write.files", "fail", 1, ENOSPC)
+    assert plan.rules[1].delay_us == 800_000
+    assert plan.rules[2].skip == 1
+    last = plan.rules[3]
+    assert last.count is None and last.host == "brick"
+    # every rule got its own deterministic RNG
+    assert all(r.rng is not None for r in plan.rules)
+
+
+def test_parse_rejects_nonsense():
+    with pytest.raises(ValueError):
+        FaultPlan.parse("justasite")
+    with pytest.raises(ValueError):
+        FaultPlan.parse("fs.read explode n=1")
+    with pytest.raises(ValueError):
+        FaultPlan.parse("fs.read fail frequency=9")
+    with pytest.raises(ValueError):
+        FaultPlan.parse("fs.read fail errno=EWHATEVER")
+
+
+def test_rule_counting_n_and_skip():
+    rule = FaultRule("fs.read", "fail", count=2, skip=1)
+    # hit 0 skipped; hits 1 and 2 fire; hit 3 is past the window
+    assert [rule.note_hit() for __ in range(4)] == \
+        [False, True, True, False]
+    assert rule.fired == 2 and rule.seen == 4
+
+
+def test_rule_count_star_fires_forever():
+    rule = FaultRule("fs.read", "fail", count=None)
+    assert all(rule.note_hit() for __ in range(10))
+
+
+def test_rule_prefix_and_host_matching():
+    rule = FaultRule("dump.write.*", "fail", host="brick")
+    assert rule.matches("dump.write.aout", "brick")
+    assert rule.matches("dump.write.stack", "brick")
+    assert not rule.matches("dump.write.aout", "schooner")
+    assert not rule.matches("fs.read", "brick")
+    exact = FaultRule("net.read", "fail")
+    assert exact.matches("net.read", "anyhost")
+    assert not exact.matches("net.read.extra", "anyhost")
+
+
+def test_mangle_kills_magic_and_is_seeded():
+    import random
+    blob = bytes(range(64))
+    out1 = _mangle(blob, random.Random("7/0"))
+    out2 = _mangle(blob, random.Random("7/0"))
+    assert out1 == out2          # deterministic under the same seed
+    assert out1 != blob
+    assert out1[0] != blob[0] and out1[1] != blob[1]  # magic dead
+    assert _mangle(b"", random.Random(0)) == b""
+
+
+def test_injected_fault_raises_named_errno():
+    from repro.machine import Cluster
+    cluster = Cluster()
+    brick = cluster.add_machine("brick")
+    cluster.inject_faults("fs.kwrite fail n=1 errno=ENOSPC")
+    with pytest.raises(UnixError) as err:
+        brick.kernel.fault_check("fs.kwrite", "/tmp/x")
+    assert err.value.errno == ENOSPC
+    # the one-shot rule is spent: the next hit goes through
+    brick.kernel.fault_check("fs.kwrite", "/tmp/x")
+    assert cluster.perf.faults_injected == 1
+    assert cluster.faults.hits["fs.kwrite"] == 2
+
+
+# -- the chaos matrix -------------------------------------------------------
+
+#: (name, fault spec, expectation).  Sites covered: dump.write.aout,
+#: dump.write.files, dump.write.stack, fs.kwrite, nfs.read,
+#: net.connect, net.read, net.send, proc.spawn, restproc.overlay
+#: (10 sites); kinds covered: fail, delay, corrupt.
+SCENARIOS = [
+    ("aout-write-fails-once",
+     "dump.write.aout fail n=1", "recovers"),
+    ("files-write-corrupted-once",
+     "dump.write.files corrupt n=1", "recovers"),
+    ("stack-write-fails-once",
+     "dump.write.stack fail n=1 errno=ENOSPC", "recovers"),
+    ("disk-full-once-on-source",
+     "fs.kwrite fail n=1 errno=ENOSPC host=brick", "recovers"),
+    ("nfs-read-corrupted-once",
+     "nfs.read corrupt n=1 host=schooner", "recovers"),
+    ("nfs-read-fails-once",
+     "nfs.read fail n=1 host=schooner", "recovers"),
+    ("connect-refused-once",
+     "net.connect fail n=1", "recovers"),
+    ("network-reads-delayed",
+     "net.read delay n=2 delay=0.8", "recovers"),
+    ("network-send-delayed",
+     "net.send delay n=1 delay=0.5", "recovers"),
+    ("restart-overlay-fails-once",
+     "restproc.overlay fail n=1", "recovers"),
+    ("three-faults-one-migration",
+     "dump.write.files fail n=1; net.connect fail n=1; "
+     "restproc.overlay fail n=1", "recovers"),
+    ("connect-always-refused",
+     "net.connect fail n=*", "degrades"),
+    ("command-line-corrupted",
+     "net.send corrupt n=1", "degrades"),
+    ("helper-spawn-fails",
+     "proc.spawn fail n=1 host=brick", "degrades"),
+    ("dump-never-writable",
+     "dump.write.* fail n=*", "degrades"),
+    ("restart-never-lands",
+     "restproc.overlay fail n=*", "degrades"),
+]
+
+
+def _run_scenario(engine, spec, seed):
+    site = MigrationSite(costs=CostModel(**FAST_KNOBS), engine=engine)
+    site.run_quiet()
+    victim = start_counter(site)
+    plan = site.cluster.inject_faults(spec, seed=seed)
+    handle = site.migrate(victim.pid, "brick", "schooner",
+                          use_daemon=True)
+    site.run_quiet()
+    return site, victim, plan, handle
+
+
+def _orphan_dump_files(site):
+    found = []
+    for name in ("brick", "schooner", "brador"):
+        machine = site.machine(name)
+        try:
+            tmp = machine.fs.resolve_local("/usr/tmp")
+        except UnixError:
+            continue
+        for entry in sorted(machine.fs.entry_names(tmp)):
+            if entry.startswith(("a.out", "files", "stack")):
+                found.append("%s:%s" % (name, entry))
+    return tuple(found)
+
+
+def _zombies(site):
+    found = []
+    for name in ("brick", "schooner", "brador"):
+        kernel = site.machine(name).kernel
+        found.extend("%s:%d" % (name, p.pid)
+                     for p in kernel.procs.all_procs() if p.zombie())
+    return tuple(found)
+
+
+def _summarize(site, victim, plan, handle):
+    victim_proc = site.machine("brick").kernel.procs.lookup(victim.pid)
+    perf = site.cluster.perf
+    return {
+        "status": handle.exit_status,
+        "victim_alive": victim_proc is not None
+        and not victim_proc.zombie(),
+        "restarted": site.find_restarted("schooner") is not None,
+        "orphans": _orphan_dump_files(site),
+        "zombies": _zombies(site),
+        "fired": plan.fired(),
+        "faults_injected": perf.faults_injected,
+        "retries": perf.retries,
+        "timeouts": perf.timeouts,
+        "clocks_us": tuple(site.machine(n).clock.now_us
+                           for n in ("brick", "schooner", "brador")),
+    }
+
+
+@pytest.mark.parametrize("name,spec,expectation", SCENARIOS,
+                         ids=[s[0] for s in SCENARIOS])
+def test_chaos_scenario_on_both_engines(name, spec, expectation):
+    summaries = {}
+    for engine in ("scan", "fast"):
+        site, victim, plan, handle = _run_scenario(engine, spec,
+                                                   seed=1234)
+        summary = _summarize(site, victim, plan, handle)
+        summaries[engine] = summary
+
+        # -- universal invariants ------------------------------------
+        assert summary["orphans"] == (), \
+            "%s/%s left dump files: %r" % (name, engine,
+                                           summary["orphans"])
+        assert summary["zombies"] == (), \
+            "%s/%s left zombies: %r" % (name, engine,
+                                        summary["zombies"])
+        assert summary["fired"], \
+            "%s/%s: the fault plan never fired" % (name, engine)
+        # the cluster still schedules fresh work on both workstations
+        for host in ("brick", "schooner"):
+            assert site.run_command(host, ["ps"], uid=100) == 0
+
+        # -- per-expectation outcome ---------------------------------
+        if expectation == "recovers":
+            assert summary["status"] == 0, \
+                "%s/%s: migration did not recover" % (name, engine)
+            assert summary["restarted"]
+            assert not summary["victim_alive"]  # it moved
+        else:
+            assert summary["status"] != 0, \
+                "%s/%s: expected a graceful failure" % (name, engine)
+            assert not summary["restarted"]
+
+    # -- the engines saw the identical run ---------------------------
+    assert summaries["scan"] == summaries["fast"], \
+        "%s: engines disagree" % name
+
+
+def test_recovery_scenarios_consume_retry_counters():
+    """The hardened pipeline reports its extra work on repro.perf."""
+    site, victim, plan, handle = _run_scenario(
+        "fast", "dump.write.files fail n=1; restproc.overlay fail n=1",
+        seed=9)
+    assert handle.exit_status == 0
+    perf = site.cluster.perf
+    assert perf.faults_injected >= 2
+    assert perf.retries >= 2           # one dump retry, one restart retry
+    snapshot = perf.snapshot()
+    for key in ("faults_injected", "fault_delay_us",
+                "fault_corruptions", "retries", "timeouts"):
+        assert key in snapshot
+
+
+def test_delay_faults_cost_virtual_time_only():
+    """A delay rule slows the migration but cannot break it."""
+    plain = _run_scenario("fast", "net.read delay n=0", seed=3)
+    slowed = _run_scenario("fast", "net.read delay n=2 delay=2.0",
+                           seed=3)
+    assert plain[3].exit_status == 0 and slowed[3].exit_status == 0
+    fired = sum(f[2] for f in slowed[2].fired())
+    assert fired == 2
+    assert slowed[0].cluster.perf.fault_delay_us == 2_000_000 * fired
+    assert slowed[0].wall_seconds() > plain[0].wall_seconds()
+
+
+def test_unfaulted_run_identical_to_no_plan():
+    """Arming an empty plan must not perturb the simulation at all."""
+    bare = _run_scenario("fast", "", seed=0)
+    assert bare[3].exit_status == 0
+    assert bare[0].cluster.perf.faults_injected == 0

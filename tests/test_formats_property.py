@@ -1,0 +1,175 @@
+"""Property-based round-trip tests for the dump file formats.
+
+Seeded ``random`` generation, no extra dependencies: ~200 randomized
+FilesInfo/StackInfo instances must survive pack → unpack → pack with
+byte-identical output, and damaged blobs (truncations, bad magic,
+bad entry kinds) must raise :class:`UnixError` cleanly rather than
+crash with an IndexError/struct.error — restart and dumpproc parse
+these files from NFS and must fail predictably on a torn read.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import UnixError
+from repro.kernel.constants import NOFILE
+from repro.kernel.cred import Credentials
+from repro.kernel.signals import (NSIG, SIG_DFL, SIG_IGN, SIGKILL,
+                                  UNCATCHABLE, SigState)
+from repro.core.formats import (FdEntry, FilesInfo, StackInfo,
+                                FD_FILE, FD_SOCKET, FD_SOCKET_BOUND,
+                                FD_UNUSED)
+from repro.vm.image import Registers
+
+CASES = 100  # per format: 200 round-trips in all
+
+
+def _random_text(rng, max_len=40):
+    alphabet = ("abcdefghijklmnopqrstuvwxyz"
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789/._-")
+    return "".join(rng.choice(alphabet)
+                   for __ in range(rng.randrange(max_len)))
+
+
+def _random_files_info(rng):
+    entries = []
+    for __ in range(NOFILE):
+        kind = rng.choice((FD_UNUSED, FD_UNUSED, FD_FILE, FD_FILE,
+                           FD_SOCKET, FD_SOCKET_BOUND))
+        if kind == FD_FILE:
+            entries.append(FdEntry(
+                FD_FILE, path="/" + _random_text(rng),
+                flags=rng.randrange(0, 1 << 12),
+                offset=rng.randrange(0, 1 << 30)))
+        elif kind == FD_SOCKET_BOUND:
+            entries.append(FdEntry(
+                FD_SOCKET_BOUND, port=rng.randrange(1, 1 << 15),
+                listening=rng.random() < 0.5))
+        else:
+            entries.append(FdEntry(kind))
+    return FilesInfo(hostname=_random_text(rng, 16),
+                     cwd="/" + _random_text(rng),
+                     entries=entries,
+                     tty_flags=rng.randrange(0, 1 << 16))
+
+
+def _random_stack_info(rng):
+    cred = Credentials(uid=rng.randrange(0, 1 << 15),
+                       gid=rng.randrange(0, 1 << 15),
+                       euid=rng.randrange(0, 1 << 15),
+                       egid=rng.randrange(0, 1 << 15))
+    registers = Registers()
+    registers.d = [rng.randrange(-(1 << 31), 1 << 31)
+                   for __ in range(8)]
+    registers.a = [rng.randrange(-(1 << 31), 1 << 31)
+                   for __ in range(8)]
+    registers.pc = rng.randrange(0, 1 << 31)
+    registers.sr = rng.randrange(0, 4)
+    sigstate = SigState()
+    # a well-formed dump never carries non-default handlers for the
+    # uncatchable signals (set_handler forbids them; unpack sanitizes)
+    sigstate.handlers = [
+        SIG_DFL if sig in UNCATCHABLE else
+        rng.choice((SIG_DFL, SIG_IGN, rng.randrange(0, 1 << 16)))
+        for sig in range(NSIG)]
+    stack = bytes(rng.randrange(256)
+                  for __ in range(rng.randrange(0, 2048)))
+    return StackInfo(cred=cred, stack=stack, registers=registers,
+                     sigstate=sigstate)
+
+
+# -- round trips -----------------------------------------------------------
+
+
+def test_files_info_roundtrip_bytes_identical():
+    rng = random.Random(0xF11E5)
+    for case in range(CASES):
+        info = _random_files_info(rng)
+        blob = info.pack()
+        back = FilesInfo.unpack(blob)
+        assert back.pack() == blob, "case %d not byte-identical" % case
+        assert back.hostname == info.hostname
+        assert back.cwd == info.cwd
+        assert back.tty_flags == info.tty_flags
+        assert back.entries == info.entries
+
+
+def test_stack_info_roundtrip_bytes_identical():
+    rng = random.Random(0x57ACC)
+    for case in range(CASES):
+        info = _random_stack_info(rng)
+        blob = info.pack()
+        back = StackInfo.unpack(blob)
+        assert back.pack() == blob, "case %d not byte-identical" % case
+        assert back.cred == info.cred
+        assert back.stack == info.stack
+        assert back.stack_size == info.stack_size
+        assert back.registers.pack() == info.registers.pack()
+        assert back.sigstate.handlers == info.sigstate.handlers
+        # peek_header agrees with the full parse
+        cred, size = StackInfo.peek_header(blob)
+        assert cred == info.cred and size == info.stack_size
+
+
+# -- damage must fail cleanly -----------------------------------------------
+
+
+def test_files_info_truncations_raise_cleanly():
+    rng = random.Random(0x7A0C)
+    blob = _random_files_info(rng).pack()
+    cuts = set(range(min(64, len(blob)))) | {
+        rng.randrange(len(blob)) for __ in range(64)}
+    for cut in sorted(cuts):
+        with pytest.raises(UnixError):
+            FilesInfo.unpack(blob[:cut])
+
+
+def test_stack_info_truncations_raise_cleanly():
+    rng = random.Random(0x7A0D)
+    blob = _random_stack_info(rng).pack()
+    cuts = set(range(min(64, len(blob)))) | {
+        rng.randrange(len(blob)) for __ in range(64)}
+    for cut in sorted(cuts):
+        with pytest.raises(UnixError):
+            StackInfo.unpack(blob[:cut])
+        with pytest.raises(UnixError):
+            StackInfo.peek_header(blob[:min(cut, 21)])
+
+
+def test_bad_magic_raises_cleanly():
+    rng = random.Random(0xBAD)
+    files_blob = _random_files_info(rng).pack()
+    stack_blob = _random_stack_info(rng).pack()
+    for mangled in (b"\x00\x00", b"\xff\xff"):
+        with pytest.raises(UnixError):
+            FilesInfo.unpack(mangled + files_blob[2:])
+        with pytest.raises(UnixError):
+            StackInfo.unpack(mangled + stack_blob[2:])
+        with pytest.raises(UnixError):
+            StackInfo.peek_header(mangled + stack_blob[2:])
+
+
+def test_bad_entry_kind_raises_cleanly():
+    blob = FilesInfo(hostname="h", cwd="/").pack()
+    # the first entry's kind byte sits right after magic + 2 strings
+    kind_at = 2 + (2 + 1) + (2 + 1)
+    damaged = blob[:kind_at] + b"\x7f" + blob[kind_at + 1:]
+    with pytest.raises(UnixError):
+        FilesInfo.unpack(damaged)
+
+
+def test_uncatchable_handlers_sanitized_on_unpack():
+    """A doctored dump claiming a SIGKILL handler is defanged."""
+    info = _random_stack_info(random.Random(0x51C))
+    info.sigstate.handlers[SIGKILL] = 0x1234
+    back = StackInfo.unpack(info.pack())
+    assert back.sigstate.handlers[SIGKILL] == SIG_DFL
+
+
+def test_empty_and_garbage_blobs_raise_cleanly():
+    for blob in (b"", b"\x01", bytes(range(64))):
+        with pytest.raises(UnixError):
+            FilesInfo.unpack(blob)
+        with pytest.raises(UnixError):
+            StackInfo.unpack(blob)

@@ -1,0 +1,132 @@
+"""Regression tests for the hardened ``migrationd-run`` client.
+
+The client must parse the ``\\x00EXIT:<status>\\n`` sentinel even when
+the network delivers it in pieces, and it must *fail*, promptly and
+with a distinct status, when the server dies before the sentinel —
+the original client looped forever on empty reads (a real hang that
+``migrate -d`` would inherit).
+"""
+
+import pytest
+
+from repro.core.api import MigrationSite
+from repro.errors import iserr
+from repro.net.migrationd import MIGRATIOND_PORT
+from repro.programs.exitcodes import EX_FAIL, EX_TRANSIENT
+
+
+@pytest.fixture
+def quiet_site():
+    """The testbed with NO daemons: port 515 is free for fakes."""
+    site = MigrationSite(daemons=False)
+    site.run_quiet()
+    return site
+
+
+def _serve_one(body):
+    """A native server on port 515 that accepts once, reads the CMD
+    line, then runs ``body(conn)`` (a generator function)."""
+    def server_main(argv, env):
+        sock = yield ("socket",)
+        result = yield ("bind", sock, MIGRATIOND_PORT)
+        if iserr(result):
+            return 1
+        yield ("listen", sock)
+        conn = yield ("accept", sock)
+        yield ("read", conn, 1024)  # the "CMD ..." line
+        yield from body(conn)
+        yield ("close", conn)
+        return 0
+    return server_main
+
+
+def _start_fake(site, body, host="schooner"):
+    machine = site.machine(host)
+    machine.install_native_program("fakeserver", _serve_one(body))
+    server = machine.spawn("/bin/fakeserver", uid=0)
+    site.run(max_steps=100_000)  # bring it to accept()
+    return server
+
+
+def _run_client(site, host="brick", target="schooner"):
+    machine = site.machine(host)
+    handle = machine.spawn(
+        "/bin/migrationd-run",
+        ["migrationd-run", target, "true"], uid=100, cwd="/tmp")
+    site.run_until(lambda: handle.exited)
+    return handle
+
+
+def test_sentinel_split_across_two_reads(quiet_site):
+    """The sentinel may straddle a packet boundary mid-'EXIT:'."""
+    def body(conn):
+        yield ("write", conn, b"partial output\n\x00EX")
+        yield ("sleep", 1)  # force a second read on the client
+        yield ("write", conn, b"IT:7\n")
+
+    _start_fake(quiet_site, body)
+    handle = _run_client(quiet_site)
+    assert handle.exit_status == 7
+    assert "partial output" in quiet_site.console("brick")
+    # the sentinel itself never reaches the user's terminal
+    assert "EXIT" not in quiet_site.console("brick")
+
+
+def test_sentinel_split_byte_by_byte(quiet_site):
+    def body(conn):
+        for byte in b"out\n\x00EXIT:5\n":
+            yield ("write", conn, bytes([byte]))
+            yield ("sleep", 0.01)
+
+    _start_fake(quiet_site, body)
+    handle = _run_client(quiet_site)
+    assert handle.exit_status == 5
+    assert "out" in quiet_site.console("brick")
+
+
+def test_server_death_before_sentinel_fails_promptly(quiet_site):
+    """EOF before the sentinel: report failure, do not hang."""
+    def body(conn):
+        yield ("write", conn, b"half an answ")
+        # ...and the helper dies: close without any sentinel
+
+    _start_fake(quiet_site, body)
+    brick = quiet_site.machine("brick")
+    t0 = brick.clock.now_us
+    handle = _run_client(quiet_site)
+    assert handle.exit_status == EX_FAIL
+    # the buffered output was still delivered
+    assert "half an answ" in quiet_site.console("brick")
+    # prompt: EOF is detected well before the 30 s read timeout
+    assert brick.clock.now_us - t0 < 10_000_000
+
+
+def test_silent_server_times_out_with_transient_status(quiet_site):
+    """A server that never replies costs a bounded wait, not a hang."""
+    def body(conn):
+        while True:
+            yield ("sleep", 60)
+
+    _start_fake(quiet_site, body)
+    timeouts_before = quiet_site.cluster.perf.timeouts
+    handle = _run_client(quiet_site)
+    assert handle.exit_status == EX_TRANSIENT
+    assert "timed out" in quiet_site.console("brick")
+    assert quiet_site.cluster.perf.timeouts == timeouts_before + 1
+
+
+def test_connection_refused_after_retries(quiet_site):
+    """No daemon at all: bounded connect retries, then EX_FAIL."""
+    retries_before = quiet_site.cluster.perf.retries
+    handle = _run_client(quiet_site)  # nothing listens on 515
+    assert handle.exit_status == EX_FAIL
+    assert "connection refused" in quiet_site.console("brick")
+    # connect_attempts=3 means two retry sleeps were taken
+    assert quiet_site.cluster.perf.retries == retries_before + 2
+
+
+def test_real_daemon_round_trip_still_works(site):
+    """End to end against the real daemon (sanity anchor)."""
+    status = site.run_command(
+        "brick", ["migrationd-run", "schooner", "ps", "-a"], uid=100)
+    assert status == 0

@@ -52,7 +52,8 @@ def test_restart_missing_dump_files(site):
     status_handle = site.restart("schooner", 777, from_host="brick",
                                  uid=100)
     assert status_handle.exited
-    assert status_handle.exit_status == 1
+    # EX_BADDUMP: the dump is missing/corrupt, retrying won't help
+    assert status_handle.exit_status == 2
     assert "not a dumped executable" in site.console("schooner")
 
 
@@ -65,8 +66,14 @@ def test_restart_corrupt_files_file(site):
     brick.fs.install_file(files_path, b"\x00\x00" + blob[2:])
     restarted = site.restart("schooner", handle.pid, from_host="brick",
                              uid=100)
-    assert restarted.exited and restarted.exit_status == 1
+    # EX_BADDUMP — and without -k the orphaned dump files are removed
+    assert restarted.exited and restarted.exit_status == 2
     assert "bad magic" in site.console("schooner")
+    brick_fs = brick.fs
+    from repro.errors import UnixError
+    for path in dump_file_names(handle.pid):
+        with pytest.raises(UnixError):
+            brick_fs.resolve_local(path)
 
 
 def test_restart_wrong_user_denied(site):
