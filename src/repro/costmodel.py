@@ -102,6 +102,18 @@ class CostModel:
     restart_poll_tries: int = 60  #: migrate polls for the restart ack
     restart_poll_sleep_s: float = 0.5  #: sleep between ack polls
 
+    # --- host failure model (DESIGN.md section 8) -----------------------
+    boot_s: float = 5.0  #: virtual seconds a reboot_host() takes
+    connect_timeout_s: float = 10.0  #: connect() wait before ETIMEDOUT
+    #: when the destination is unreachable (partitioned, not refused)
+    hb_interval_s: float = 2.0  #: heartbeat probe period (virtual)
+    hb_timeout_s: float = 5.0  #: silence before a peer is suspected
+    hb_lease_s: float = 20.0  #: how long a status query keeps the
+    #: heartbeat lane ticking; with no consumers the lane goes dormant
+    #: so an idle cluster can still quiesce
+    recovery_interval_s: float = 2.0  #: recoveryd scan period
+    recovery_rounds: int = 10  #: recoveryd scans before exiting
+
     # --- tty ----------------------------------------------------------
     tty_char_us: float = 90.0  #: per character through the tty queue
     tty_ioctl_us: float = 200.0  #: get/set terminal modes

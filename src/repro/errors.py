@@ -51,6 +51,7 @@ ECONNREFUSED = 61  # Connection refused
 ENOTCONN = 57  # Socket is not connected
 ECONNRESET = 54  # Connection reset by peer
 ETIMEDOUT = 60  # Connection timed out
+EHOSTDOWN = 64  # Host is down
 
 _NAMES = {
     value: name
@@ -92,6 +93,7 @@ _MESSAGES = {
     ENOTCONN: "Socket is not connected",
     ECONNRESET: "Connection reset by peer",
     ETIMEDOUT: "Connection timed out",
+    EHOSTDOWN: "Host is down",
     EFAULT: "Bad address",
     ESRCH: "No such process",
 }

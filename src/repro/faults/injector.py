@@ -9,6 +9,7 @@ pay nothing and trace identically to builds without the subsystem.
 
 from repro.errors import UnixError
 from repro.faults.plan import FaultPlan
+from repro.kernel.flow import HostCrashed
 
 
 def _mangle(data, rng):
@@ -44,8 +45,9 @@ class FaultInjector:
         """Control-flow site: apply delay rules, then the first fail
         rule.  Raises :class:`UnixError` when a fail rule fires."""
         host = kernel.machine.name
+        cluster = kernel.machine.cluster
         self.hits[site] = self.hits.get(site, 0) + 1
-        perf = kernel.machine.cluster.perf
+        perf = cluster.perf
         failure = None
         for rule in self.plan.rules:
             if rule.kind == "corrupt" or not rule.matches(site, host):
@@ -57,6 +59,19 @@ class FaultInjector:
                 perf.fault_delay_us += rule.delay_us
                 self.fired.append((site, "delay", detail))
                 kernel.charge_wait(rule.delay_us)
+            elif rule.kind == "crash":
+                victim = rule.target or host
+                perf.faults_injected += 1
+                self.fired.append((site, "crash", detail))
+                cluster.crash_host(victim)
+                if victim == host:
+                    # this very machine died mid-syscall; unwind all
+                    # the way out of its step (see kernel.flow)
+                    raise HostCrashed(victim)
+            elif rule.kind == "partition":
+                perf.faults_injected += 1
+                self.fired.append((site, "partition", detail))
+                cluster.partition(rule.target or host, rule.peer)
             elif failure is None:
                 failure = rule
         if failure is not None:

@@ -11,12 +11,20 @@ The textual format (see docs/man/faultplan.5.md)::
 
     <site> <kind> [n=<count>|n=*] [skip=<k>] [errno=<NAME>]
                   [delay=<seconds>] [host=<name>]
+                  [target=<name>] [peer=<name>]
 
 Rules are separated by ``;`` or newlines.  Examples::
 
     dump.write.files fail n=1 errno=EIO
     net.read delay n=2 delay=0.8
     nfs.read corrupt skip=1
+    restproc.overlay crash n=1
+    net.connect partition n=1 peer=schooner
+
+The host-level kinds: ``crash`` powers off a machine the moment the
+site is hit (``target=`` names the victim; default is the host that
+hit the site), ``partition`` cuts the link between ``target=`` (same
+default) and the mandatory ``peer=``.
 """
 
 import random
@@ -25,16 +33,18 @@ import repro.errors as errors_mod
 from repro.errors import EIO
 
 #: the failure kinds a rule may carry
-KINDS = ("fail", "delay", "corrupt")
+KINDS = ("fail", "delay", "corrupt", "crash", "partition")
 
 
 class FaultRule:
     """One ``site kind ...`` clause of a plan."""
 
     def __init__(self, site, kind, count=1, skip=0, errno=EIO,
-                 delay_us=500_000, host=None):
+                 delay_us=500_000, host=None, target=None, peer=None):
         if kind not in KINDS:
             raise ValueError("unknown fault kind %r" % kind)
+        if kind == "partition" and peer is None:
+            raise ValueError("partition rule needs peer=<host>")
         self.site = site
         self.kind = kind
         self.count = count        #: how many hits fire (None = forever)
@@ -42,6 +52,9 @@ class FaultRule:
         self.errno = errno
         self.delay_us = delay_us
         self.host = host          #: restrict to one machine (or None)
+        self.target = target      #: crash/partition victim (default:
+        #: the host that hit the site)
+        self.peer = peer          #: partition: the other end of the cut
         self.seen = 0             #: matching hits observed so far
         self.fired = 0            #: hits this rule actually acted on
         self.rng = None           #: seeded by the owning plan
@@ -117,6 +130,10 @@ class FaultPlan:
                 kw["delay_us"] = int(float(value) * 1_000_000)
             elif key == "host":
                 kw["host"] = value
+            elif key == "target":
+                kw["target"] = value
+            elif key == "peer":
+                kw["peer"] = value
             else:
                 raise ValueError("unknown fault option %r" % key)
         return FaultRule(site, kind, **kw)

@@ -19,6 +19,21 @@ class ProcessOverlaid(Exception):
     """exec/rest_proc succeeded; the calling image is gone."""
 
 
+class HostCrashed(Exception):
+    """The machine executing the current syscall just crashed.
+
+    Deliberately *not* a :class:`~repro.errors.UnixError`: no process
+    survives to see an errno.  It unwinds through the scheduler (whose
+    handlers only catch UnixError/WouldBlock/ProcessOverlaid) up to
+    :meth:`Machine.step`, which absorbs it — the machine is dead and
+    simply stops being schedulable.
+    """
+
+    def __init__(self, hostname):
+        super().__init__("host %s crashed" % hostname)
+        self.hostname = hostname
+
+
 class NullDevice:
     """``/dev/null``: reads see EOF, writes vanish."""
 

@@ -76,6 +76,9 @@ class Kernel(FileSyscalls, ProcSyscalls, MiscSyscalls, ExecSupport,
         self._namei_suppress_charge = False
         self.namei_cache_hits = 0
         self.namei_cache_misses = 0
+        #: lazily-created heartbeat failure detector (see
+        #: repro.net.heartbeat); a reboot gets a fresh, empty one
+        self.hb_monitor = None
 
     # -- identity ---------------------------------------------------------
 
@@ -136,6 +139,26 @@ class Kernel(FileSyscalls, ProcSyscalls, MiscSyscalls, ExecSupport,
 
     def fs_is_local(self, fs):
         return fs.hostname == self.hostname
+
+    def fs_check_reachable(self, fs):
+        """Fail I/O on an open fd whose remote server died.
+
+        Path resolution catches dead servers at lookup time (the
+        namespace's ``remote_roots`` hook raises ``EHOSTDOWN``), but a
+        descriptor opened *before* the crash bypasses namei — this is
+        the per-operation check that makes pending NFS reads and
+        writes fail instead of touching a ghost filesystem.
+        """
+        if self.fs_is_local(fs):
+            return
+        from repro.errors import EHOSTDOWN
+        server = self.machine.cluster.machines.get(fs.hostname)
+        if server is None or not server.running:
+            raise UnixError(EHOSTDOWN, fs.hostname)
+        if not self.machine.cluster.network.reachable(
+                self.hostname, fs.hostname):
+            raise UnixError(EHOSTDOWN,
+                            "%s (partitioned)" % fs.hostname)
 
     def fs_charge(self, op, fs):
         """Charge one namei step (the Namespace charge hook)."""

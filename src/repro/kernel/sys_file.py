@@ -172,6 +172,7 @@ class FileSyscalls:
                 raise WouldBlock(chan)
             self.charge(self.costs.tty_char_us * max(1, len(data)))
             return data
+        self.fs_check_reachable(entry.fs)
         site = "fs.read" if self.fs_is_local(entry.fs) else "nfs.read"
         self.fault_check(site, entry.name or "")
         data = entry.fs.read(entry.inode, entry.offset, nbytes)
@@ -231,6 +232,7 @@ class FileSyscalls:
             count = chan.write(data)
             self.charge(self.costs.tty_char_us * max(1, len(data)))
             return count
+        self.fs_check_reachable(entry.fs)
         if entry.flags & O_APPEND:
             entry.offset = entry.inode.size
         count = entry.fs.write(entry.inode, entry.offset, data)
@@ -377,6 +379,23 @@ class FileSyscalls:
             return Stat(0, 0, 0, 0, 0, 0, 0, self.hostname)
         return entry.inode.stat(dev=entry.fs.hostname
                                 if entry.fs else self.hostname)
+
+    def sys_readdir(self, proc, path):
+        """List a directory's entry names, sorted.
+
+        The whole listing is returned at once (a native-program
+        convenience; the VM side has no getdents), charged as one
+        block read of the directory.
+        """
+        resolved = self.namei(proc, path)
+        inode = resolved.inode
+        if not inode.is_dir():
+            raise UnixError(ENOTDIR, path)
+        if not inode.check_access(proc.user.cred, want_read=True):
+            raise UnixError(EACCES, path)
+        names = tuple(sorted(resolved.fs.entry_names(inode)))
+        self.io_charge(resolved.fs, max(1, sum(map(len, names))))
+        return names
 
     def sys_unlink(self, proc, path):
         resolved = self.namei(proc, path, follow=False,

@@ -147,7 +147,34 @@ class MiscSyscalls:
         Only the pipeline-hardening counters are writable this way;
         the engine counters stay kernel-private.
         """
-        if counter not in ("retries", "timeouts"):
+        if counter not in ("retries", "timeouts", "recoveries"):
             raise UnixError(EINVAL, "perf_note %r" % (counter,))
         self.machine.cluster.perf.note(counter, amount)
         return 0
+
+    # -- heartbeat failure detector ------------------------------------------
+
+    def _heartbeat(self):
+        """The machine's failure detector, created on first use.
+
+        Living on the kernel (not the machine) means a reboot gets a
+        fresh, empty monitor — suspicion state does not survive a
+        crash, just like any other kernel memory.
+        """
+        if self.hb_monitor is None:
+            from repro.net.heartbeat import HeartbeatMonitor
+            self.hb_monitor = HeartbeatMonitor(self.machine)
+        return self.hb_monitor
+
+    def sys_hb_start(self, proc):
+        """Ensure the heartbeat monitor exists (daemons call this at
+        startup so their host participates in failure detection)."""
+        self._heartbeat()
+        return 0
+
+    def sys_hb_status(self, proc, host):
+        """1 if the failure detector currently suspects ``host`` is
+        dead, else 0.  Querying starts (and leases) the probe lane."""
+        if not isinstance(host, str) or not host:
+            raise UnixError(EINVAL, "hb_status %r" % (host,))
+        return self._heartbeat().status(host)

@@ -297,7 +297,8 @@ _NATIVE_SIMPLE = {
     "proc_cpu_seconds", "socket", "bind", "listen", "accept",
     "connect", "execve", "rest_proc", "stat", "fstat", "rsh_setup",
     "daemon_setup", "chmod", "chown", "access", "link", "rename",
-    "read_timeout", "reap", "sysctl", "perf_note",
+    "read_timeout", "reap", "sysctl", "perf_note", "hb_start",
+    "hb_status", "readdir",
 }
 
 

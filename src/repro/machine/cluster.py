@@ -34,6 +34,7 @@ changes how much *real* time the host spends finding the next event.
 import heapq
 
 from repro.costmodel import CostModel
+from repro.errors import EHOSTDOWN, UnixError
 from repro.faults import FaultInjector, FaultPlan
 from repro.machine.machine import Machine
 from repro.net.network import Network
@@ -94,18 +95,65 @@ class Cluster:
         self.faults.arm(plan)
         return plan
 
-    def exported_fs(self, host):
+    def exported_fs(self, host, client=None):
         """The filesystem served for ``/n/<host>`` lookups.
 
         Every machine exports its root to every other (and to itself
         — a loopback mount, so ``dumpproc``'s ``/n/<self>/...``
-        rewriting also works for same-machine restarts).
+        rewriting also works for same-machine restarts).  A crashed
+        server, or one cut off from ``client`` by a partition, raises
+        ``EHOSTDOWN`` — NFS here is a hard mount that errors rather
+        than hanging forever, so programs can react.
         """
         machine = self.machines.get(host)
-        return machine.fs if machine is not None else None
+        if machine is None:
+            return None
+        if not machine.running:
+            raise UnixError(EHOSTDOWN, host)
+        if client is not None and client != host \
+                and not self.network.reachable(client, host):
+            raise UnixError(EHOSTDOWN, "%s (partitioned)" % host)
+        return machine.fs
 
     def hosts(self):
         return sorted(self.machines)
+
+    # -- host failure primitives -----------------------------------------------
+
+    def crash_host(self, name):
+        """Crash a host: its processes vanish mid-instruction, peers'
+        sockets see RST/EOF one wire latency later, and its exported
+        filesystem stops answering (``EHOSTDOWN``)."""
+        machine = self.machines.get(name)
+        if machine is None:
+            raise ValueError("unknown machine %r" % name)
+        if not machine.running:
+            return
+        self.perf.host_crashes += 1
+        base = self.wall_time_us()
+        self.network.host_crashed(machine,
+                                  base + self.costs.message_us(0))
+        machine.crash()
+
+    def reboot_host(self, name):
+        """Reboot a crashed host; takes ``costs.boot_s`` virtual time.
+
+        The fresh kernel re-serves the host's NFS exports; daemons
+        must be restarted by the embedder."""
+        machine = self.machines.get(name)
+        if machine is None:
+            raise ValueError("unknown machine %r" % name)
+        machine.reboot()
+        self.perf.host_reboots += 1
+        return machine
+
+    def partition(self, a, b):
+        """Cut the network link between hosts ``a`` and ``b``."""
+        self.network.partition(a, b)
+
+    def heal(self, a=None, b=None):
+        """Heal one cut link (or all cuts when called with no args)."""
+        self.network.heal(a, b)
 
     # -- site conventions ------------------------------------------------------------
 

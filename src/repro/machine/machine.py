@@ -17,6 +17,7 @@ from repro.fs.namei import Namespace
 from repro.fs.paths import normalize
 from repro.kernel.cred import Credentials
 from repro.kernel.filetable import FFILE
+from repro.kernel.flow import HostCrashed
 from repro.kernel.kernel import Kernel, ProcessOverlaid
 from repro.kernel.tty import Terminal
 from repro.vm.cpu import CPU
@@ -58,13 +59,16 @@ class Machine:
         self.cluster = cluster
         self.costs = cluster.costs
         self.clock = Clock()
+        #: False once the host has crashed (cleared by reboot)
+        self.running = True
         self.cpu_model = cpu_model(cpu)
         self.cpu = CPU(self.cpu_model)
         self.fs = FileSystem(name)
         self._setup_fs()
         self.namespace = Namespace(
             self.fs,
-            remote_roots=lambda host: cluster.exported_fs(host),
+            remote_roots=lambda host: cluster.exported_fs(host,
+                                                          client=name),
             charge=lambda op, fs: self.kernel.fs_charge(op, fs))
         self.terminals = {}
         self.programs = {}  #: native program registry: name -> factory
@@ -184,6 +188,8 @@ class Machine:
     # -- event queue --------------------------------------------------------------------
 
     def post_event(self, when_us, action):
+        if not self.running:
+            return  # events for a dead host vanish with it
         heapq.heappush(self._events,
                        (when_us, next(self._event_seq), action))
         # the fast driver must hear about new work: it may move this
@@ -202,10 +208,14 @@ class Machine:
     # -- stepping ------------------------------------------------------------------------
 
     def has_work(self):
+        if not self.running:
+            return False
         return bool(self._events) or self.kernel.scheduler.has_runnable()
 
     def next_time(self):
         """The virtual time at which this machine would next act."""
+        if not self.running:
+            return float("inf")
         if self.kernel.scheduler.has_runnable():
             return self.clock.now_us
         if self._events:
@@ -214,16 +224,76 @@ class Machine:
 
     def step(self):
         """Advance this machine by one scheduling slot or event."""
-        self._process_due_events()
-        if self.kernel.scheduler.has_runnable():
-            self.kernel.scheduler.run_slot()
+        if not self.running:
+            return False
+        try:
             self._process_due_events()
+            if self.kernel.scheduler.has_runnable():
+                self.kernel.scheduler.run_slot()
+                self._process_due_events()
+                return True
+            if self._events:
+                self.clock.advance_to(self._events[0][0])
+                self._process_due_events()
+                return True
+            return False
+        except HostCrashed:
+            # this machine crashed itself mid-syscall (a crash fault
+            # rule fired here); the step "completed" — into the void
             return True
-        if self._events:
-            self.clock.advance_to(self._events[0][0])
-            self._process_due_events()
-            return True
-        return False
+
+    # -- crash and reboot ---------------------------------------------------------------
+
+    def crash(self):
+        """Power off instantly: every process, event and port vanishes.
+
+        The disk (the local filesystem) survives; memory — the process
+        table, run queue, pending events, bound ports — does not.
+        Terminal scrollback is kept: it is the *user's* screen, not
+        the machine's memory.  Use :meth:`Cluster.crash_host`, which
+        also tells the network layer to reset peers' sockets.
+        """
+        from repro.kernel.proc import ProcTable
+        self.running = False
+        self._events = []
+        self.ports.clear()
+        self.kernel.scheduler.runq.clear()
+        self.kernel.procs = ProcTable()
+
+    def reboot(self):
+        """Bring a crashed host back with a fresh kernel.
+
+        ``/tmp`` and ``/usr/tmp`` are wiped (dump files do not survive
+        the crash-reboot cycle — they lived in memory-speed scratch
+        space); everything else on disk persists, including installed
+        programs.  Daemons are NOT restarted — that is the embedder's
+        job, as it was the operator's at a real site.
+        """
+        if self.running:
+            raise ValueError("reboot of a running host %r" % self.name)
+        for path in ("/tmp", "/usr/tmp"):
+            self._wipe_directory(path)
+        self.kernel = Kernel(self)
+        self.clock.advance_to(max(self.clock.now_us,
+                                  self.cluster.wall_time_us())
+                              + self.costs.boot_s * 1_000_000.0)
+        self.running = True
+
+    def _wipe_directory(self, path):
+        try:
+            directory = self.fs.resolve_local(path)
+        except UnixError:
+            return
+        self._remove_children(directory)
+
+    def _remove_children(self, directory):
+        for name in list(self.fs.entry_names(directory)):
+            child = self.fs.lookup(directory, name)
+            if child.is_dir():
+                self._remove_children(child)
+                self.fs.rmdir(directory, name)
+            else:
+                self.fs.unlink(directory, name)
 
     # -- conveniences for tests and examples ------------------------------------------------
 

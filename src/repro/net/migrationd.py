@@ -30,6 +30,8 @@ _SENTINEL = b"\x00EXIT:"
 
 def migrationd_main(argv, env):
     """The daemon proper: accept and dispatch to helpers."""
+    yield ("hb_start",)  # this host now participates in failure
+    # detection; clients consult the verdict before retrying us
     sock = yield ("socket",)
     result = yield ("bind", sock, MIGRATIOND_PORT)
     if iserr(result):
@@ -100,6 +102,14 @@ def migrationd_run_main(argv, env):
             break
         yield ("close", sock)
         sock = None
+        dead = yield ("hb_status", host)
+        if dead == 1:
+            # the failure detector already suspects this host:
+            # retrying a corpse wastes the whole backoff budget.
+            # EX_TRANSIENT, not EX_FAIL — the host may come back.
+            yield from print_err("migrationd-run: %s: host is down"
+                                 % host)
+            return EX_TRANSIENT
     if sock is None:
         yield from print_err("migrationd-run: %s: connection refused"
                              % host)

@@ -13,7 +13,8 @@ import itertools
 from collections import deque
 
 from repro.errors import (UnixError, EADDRINUSE, ECONNREFUSED,
-                          ENOTCONN, EPIPE, EINVAL)
+                          ECONNRESET, EHOSTDOWN, ENOTCONN, EPIPE,
+                          EINVAL, ETIMEDOUT)
 from repro.kernel.flow import WouldBlock
 
 
@@ -34,6 +35,7 @@ class SocketState:
         self.peer = None
         self.rx = bytearray()
         self.eof = False
+        self.reset = False  #: peer crashed: reads past rx see RST
         self.connected = False
         self.closed = False
 
@@ -57,6 +59,11 @@ class Network:
         #: every socket allocation and message delivery (used by the
         #: determinism tests)
         self.trace = None
+        #: severed links: a set of frozenset({a, b}) host-name pairs
+        self._cuts = set()
+        #: live sockets by owning host name, so a crash can reset the
+        #: peers of everything the dead host had open
+        self._live = {}
 
     @property
     def costs(self):
@@ -67,10 +74,69 @@ class Network:
         """The smallest cross-machine message transit time."""
         return self.costs.message_us(0)
 
+    # -- partitions and crashes --------------------------------------------
+
+    def reachable(self, a, b):
+        """True when hosts ``a`` and ``b`` can exchange packets."""
+        if a == b:
+            return True
+        ma = self.cluster.machines.get(a)
+        mb = self.cluster.machines.get(b)
+        if ma is None or mb is None \
+                or not ma.running or not mb.running:
+            return False
+        return frozenset((a, b)) not in self._cuts
+
+    def partition(self, a, b):
+        """Sever the link between ``a`` and ``b`` (both directions)."""
+        if a == b:
+            raise ValueError("cannot partition %r from itself" % a)
+        cut = frozenset((a, b))
+        if cut not in self._cuts:
+            self._cuts.add(cut)
+            self.cluster.perf.net_partitions += 1
+
+    def heal(self, a=None, b=None):
+        """Undo one cut (``heal(a, b)``) or every cut (``heal()``)."""
+        if a is None and b is None:
+            self._cuts.clear()
+        else:
+            self._cuts.discard(frozenset((a, b)))
+
+    def host_crashed(self, machine, when_us):
+        """``machine`` just crashed: reset the peers of its sockets.
+
+        Each surviving peer sees EOF-with-RST one wire latency after
+        the crash — buffered data already delivered stays readable,
+        then reads return ``ECONNRESET``.
+        """
+        # sorted by id so the peers' reset events land in the same
+        # order on every run of the schedule (sets iterate by identity)
+        for sock in sorted(self._live.pop(machine.name, ()),
+                           key=lambda s: s.id):
+            sock.closed = True
+            peer = sock.peer
+            if peer is None or peer.closed \
+                    or not peer.machine.running:
+                continue
+            dst, victim = peer.machine, peer
+
+            def arrive(victim=victim, dst=dst):
+                victim.eof = True
+                victim.reset = True
+                dst.kernel.wakeup(victim)
+
+            dst.post_event(when_us, arrive)
+
     # -- raw timed delivery -----------------------------------------------
 
     def deliver(self, src_machine, dst_machine, nbytes, action):
         """Schedule ``action`` on ``dst_machine`` after transit time."""
+        if not dst_machine.running \
+                or not self.reachable(src_machine.name,
+                                      dst_machine.name):
+            self.cluster.perf.net_drops += 1
+            return
         self.bytes_moved += nbytes
         self.messages_sent += 1
         arrival = src_machine.clock.now_us + self.costs.message_us(nbytes)
@@ -83,6 +149,7 @@ class Network:
 
     def sock_create(self, machine):
         sock = SocketState(machine, next(self._sock_ids))
+        self._live.setdefault(machine.name, set()).add(sock)
         if self.trace is not None:
             self.trace.append(("sock", sock.id, machine.name))
         return sock
@@ -116,6 +183,17 @@ class Network:
         dst = self.cluster.machines.get(host)
         if dst is None:
             raise UnixError(ECONNREFUSED, "no host %r" % host)
+        if not dst.running:
+            # a dead host answers nothing; the connect burns one RTT
+            # before the caller can conclude anything
+            machine.kernel.charge_wait(self.costs.net_rtt_us)
+            raise UnixError(EHOSTDOWN, "%s:%d" % (host, port))
+        if not self.reachable(machine.name, host):
+            # a partition looks like silence: SYNs vanish and the
+            # connect times out rather than being refused
+            machine.kernel.charge_wait(
+                self.costs.connect_timeout_s * 1_000_000.0)
+            raise UnixError(ETIMEDOUT, "%s:%d" % (host, port))
         listener = dst.ports.get(port)
         if listener is None or not listener.listening:
             raise UnixError(ECONNREFUSED, "%s:%d" % (host, port))
@@ -157,6 +235,8 @@ class Network:
             data = bytes(sock.rx[:take])
             del sock.rx[:take]
             return data
+        if sock.reset:
+            raise UnixError(ECONNRESET, "socket #%d" % sock.id)
         if sock.eof:
             return b""
         if not sock.connected and not sock.listening:
@@ -167,6 +247,9 @@ class Network:
         if sock.closed:
             return
         sock.closed = True
+        owned = self._live.get(machine.name)
+        if owned is not None:
+            owned.discard(sock)
         if sock.bound_port is not None:
             machine.ports.pop(sock.bound_port, None)
         peer = sock.peer

@@ -31,6 +31,16 @@ class PerfCounters:
         self.fault_corruptions = 0  #: blobs mangled by corrupt rules
         self.retries = 0  #: retry rounds taken by hardened commands
         self.timeouts = 0  #: read/poll timeouts hit by hardened commands
+        # host failure model / recovery
+        self.host_crashes = 0  #: crash_host() invocations
+        self.host_reboots = 0  #: reboot_host() invocations
+        self.net_partitions = 0  #: partition() link cuts installed
+        self.net_drops = 0  #: messages dropped by dead hosts or cuts
+        self.hb_ticks = 0  #: heartbeat rounds run by all monitors
+        self.hb_probes = 0  #: individual peer probes sent
+        self.hb_suspects = 0  #: suspected-dead verdicts declared
+        self.hb_recoveries = 0  #: suspected peers seen alive again
+        self.recoveries = 0  #: jobs recoveryd restarted elsewhere
 
     def note(self, name, amount=1):
         """Bump a counter by name (used by the ``perf_note`` syscall)."""
@@ -88,6 +98,15 @@ class PerfCounters:
             "fault_corruptions": self.fault_corruptions,
             "retries": self.retries,
             "timeouts": self.timeouts,
+            "host_crashes": self.host_crashes,
+            "host_reboots": self.host_reboots,
+            "net_partitions": self.net_partitions,
+            "net_drops": self.net_drops,
+            "hb_ticks": self.hb_ticks,
+            "hb_probes": self.hb_probes,
+            "hb_suspects": self.hb_suspects,
+            "hb_recoveries": self.hb_recoveries,
+            "recoveries": self.recoveries,
         }
         if elapsed_s is not None:
             snap["elapsed_s"] = round(elapsed_s, 6)

@@ -23,6 +23,7 @@ def install_standard_programs(machine):
                                       migrationd_run_main)
     from repro.programs.shell import sh_main
     from repro.programs.ckptd import ckptd_main
+    from repro.programs.recoveryd import recoveryd_main
     from repro.programs.coreutils import (echo_main, cat_main,
                                           pwd_main, wc_main,
                                           true_main, false_main)
@@ -46,6 +47,8 @@ def install_standard_programs(machine):
                                    migrationd_run_main, size=16384)
     machine.install_native_program("sh", sh_main, size=32768)
     machine.install_native_program("ckptd", ckptd_main, size=12288)
+    machine.install_native_program("recoveryd", recoveryd_main,
+                                   size=16384)
     machine.install_native_program("echo", echo_main, size=2048)
     machine.install_native_program("cat", cat_main, size=4096)
     machine.install_native_program("pwd", pwd_main, size=2048)

@@ -1,0 +1,85 @@
+"""The on-disk protocol between ``ckptd`` and ``recoveryd``.
+
+A checkpointed job's shared directory (on the NFS file server, so it
+survives the home workstation) holds:
+
+* ``ck<N>.aout`` / ``ck<N>.files`` / ``ck<N>.stack`` — the archived
+  dump of round *N*, plus ``ck<N>.fd<slot>`` snapshots of the open
+  regular files;
+* ``meta`` — advisory state: where the job lives, its current pid,
+  the latest saved round, the owner's epoch.  Written atomically
+  (temp file + same-directory rename) so a reader never sees a torn
+  update;
+* ``claim.<E>`` — the **fence**.  Claim files are created with
+  ``O_CREAT|O_EXCL`` and never written again, so creation is an
+  atomic test-and-set on the server: whoever creates ``claim.<E>``
+  owns epoch *E*.  A checkpoint daemon that finds a claim with an
+  epoch above its own has been superseded — some recovery daemon
+  declared its host dead and restarted the job elsewhere — and must
+  kill its copy (see ``EX_FENCED``).  This is what keeps a healed
+  partition from leaving two live copies of one job.
+"""
+
+from repro.errors import iserr
+from repro.programs.base import read_file, write_file
+
+#: meta keys parsed as integers
+_INT_KEYS = ("pid", "round", "epoch", "interval", "rounds_left")
+
+
+def pack_meta(meta):
+    """Serialise a meta dict to sorted ``key=value`` lines."""
+    return "".join("%s=%s\n" % (key, meta[key]) for key in sorted(meta))
+
+
+def parse_meta(blob):
+    """Parse ``key=value`` lines; ints where the protocol says int."""
+    meta = {}
+    for line in blob.decode("latin-1").splitlines():
+        key, sep, value = line.partition("=")
+        if not sep:
+            continue
+        meta[key] = int(value) if key in _INT_KEYS else value
+    return meta
+
+
+def read_meta(directory):
+    """yield-from: the parsed meta dict, or -errno."""
+    blob = yield from read_file("%s/meta" % directory)
+    if iserr(blob):
+        return blob
+    try:
+        return parse_meta(blob)
+    except ValueError:
+        from repro.errors import EINVAL
+        return -EINVAL
+
+
+def write_meta(directory, meta):
+    """yield-from: atomically replace ``meta``; 0 or -errno.
+
+    Write-then-rename within one directory, so concurrent readers see
+    either the old or the new contents, never a prefix.
+    """
+    tmp = "%s/meta.tmp" % directory
+    result = yield from write_file(tmp, pack_meta(meta), mode=0o644)
+    if iserr(result):
+        return result
+    result = yield ("rename", tmp, "%s/meta" % directory)
+    return result if iserr(result) else 0
+
+
+def claim_name(epoch):
+    return "claim.%d" % epoch
+
+
+def highest_claim(names):
+    """The largest epoch among ``claim.<E>`` entries; -1 if none."""
+    best = -1
+    for name in names:
+        if name.startswith("claim."):
+            try:
+                best = max(best, int(name[6:]))
+            except ValueError:
+                pass
+    return best

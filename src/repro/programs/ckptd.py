@@ -12,40 +12,93 @@ it does — killing the job, archiving the dump, copying the open
 files, resuming the job — happens through system calls, exactly as
 the paper's application would have.
 
-Usage: ``ckptd <pid> <interval-seconds> <rounds> [<directory>]``.
-After each snapshot the job continues under a new pid (a child of
-ckptd); the daemon tracks it and prints one status line per round.
+Usage: ``ckptd [-e epoch] [-s round] <pid> <interval-seconds>
+<rounds> [<directory>]``.  After each snapshot the job continues
+under a new pid (a child of ckptd); the daemon tracks it and prints
+one status line per round.
+
+For crash recovery (see ``recoveryd(8)``) the daemon also maintains a
+``meta`` file in the checkpoint directory and honours the epoch fence
+(see :mod:`repro.programs.ckmeta`): ``-e`` names the epoch this
+incarnation runs under, ``-s`` resumes round numbering after a
+restart elsewhere.  Distinct exit statuses tell the caller what
+happened: ``EX_JOBLOST`` (5) — the job died between rounds, the last
+saved round is announced; ``EX_FENCED`` (6) — a recovery daemon
+claimed a higher epoch (or the checkpoint directory became
+unreachable, so it *may* have), and the local copy killed itself.
 """
 
 from repro.errors import iserr, ECHILD, EEXIST, UnixError
 from repro.core.formats import FilesInfo, dump_file_names
-from repro.programs.base import (print_err, println, read_file,
-                                 write_file)
+from repro.kernel.signals import SIGKILL
+from repro.programs.base import (parse_options, print_err, println,
+                                 read_file, write_file)
+from repro.programs.ckmeta import highest_claim, write_meta
+from repro.programs.exitcodes import EX_FENCED, EX_JOBLOST
 
 DEFAULT_DIRECTORY = "/tmp/ckpt"
 
-USAGE = "usage: ckptd pid interval rounds [directory]"
+USAGE = "usage: ckptd [-e epoch] [-s round] pid interval rounds " \
+        "[directory]"
 
 
 def ckptd_main(argv, env):
-    if len(argv) < 4:
+    options, positional = parse_options(argv, {"-e": True, "-s": True})
+    if positional is None or not 3 <= len(positional) <= 4:
         yield from print_err(USAGE)
         return 1
     try:
-        pid = int(argv[1])
-        interval = int(argv[2])
-        rounds = int(argv[3])
+        pid = int(positional[0])
+        interval = int(positional[1])
+        rounds = int(positional[2])
+        epoch = int(options.get("-e", 0))
+        start = int(options.get("-s", 0))
     except ValueError:
         yield from print_err(USAGE)
         return 1
-    directory = argv[4] if len(argv) > 4 else DEFAULT_DIRECTORY
+    directory = positional[3] if len(positional) > 3 \
+        else DEFAULT_DIRECTORY
     result = yield ("mkdir", directory, 0o755)
     if iserr(result) and result != -EEXIST:
         yield from print_err("ckptd: cannot create %s" % directory)
         return 1
 
-    for round_no in range(rounds):
+    probe = yield ("kill", pid, 0)
+    if iserr(probe):
+        yield from print_err("ckptd: probe of pid %d failed" % pid)
+        return 1
+    host = yield ("gethostname",)
+    saved = start - 1  #: latest round safely archived
+
+    def meta(pid, status, rounds_left):
+        return {"host": host, "pid": pid, "round": saved,
+                "epoch": epoch, "interval": interval,
+                "rounds_left": rounds_left, "status": status}
+
+    yield from write_meta(directory, meta(pid, "running", rounds))
+
+    for round_no in range(start, start + rounds):
         yield ("sleep", interval)
+        left = start + rounds - round_no  #: incl. this round
+
+        fenced = yield from _check_fence(directory, epoch)
+        if fenced:
+            yield ("kill", pid, SIGKILL)
+            yield ("reap",)
+            yield from print_err(
+                "ckptd: fenced at epoch %d, killed pid %d" % (epoch,
+                                                              pid))
+            return EX_FENCED
+
+        yield ("reap",)  # collect a dead job before probing it
+        probe = yield ("kill", pid, 0)
+        if iserr(probe):
+            yield from print_err(
+                "ckptd: pid %d died, last saved round %d" % (pid,
+                                                             saved))
+            yield from write_meta(directory, meta(pid, "lost", left))
+            return EX_JOBLOST
+
         new_pid = yield from _snapshot(pid, round_no, directory)
         if new_pid is None:
             yield from print_err("ckptd: checkpoint %d of pid %d "
@@ -54,7 +107,21 @@ def ckptd_main(argv, env):
         yield from println("ckptd: checkpoint %d taken, pid %d -> %d"
                            % (round_no, pid, new_pid))
         pid = new_pid
+        saved = round_no
+        yield from write_meta(directory,
+                              meta(pid, "running", left - 1))
+    yield from write_meta(directory, meta(pid, "done", 0))
     return 0
+
+
+def _check_fence(directory, epoch):
+    """True if a higher-epoch claim exists — or might (directory
+    unreachable, so a partitioned-away recoveryd could have claimed
+    without us seeing it): the job must not keep running here."""
+    names = yield ("readdir", directory)
+    if iserr(names):
+        return True
+    return highest_claim(names) > epoch
 
 
 def _snapshot(pid, round_no, directory):

@@ -15,6 +15,10 @@ decide between retrying and giving up:
   right response.
 * ``EX_RESTPROC`` — ``rest_proc`` itself rejected the image after
   the files checked out.
+* ``EX_JOBLOST`` — ``ckptd``'s tracked job died between checkpoint
+  rounds; the last saved round is intact and announced on stderr.
+* ``EX_FENCED`` — a recovery daemon claimed this job with a higher
+  epoch; the local copy killed itself rather than run twice.
 """
 
 EX_OK = 0
@@ -22,3 +26,5 @@ EX_FAIL = 1
 EX_BADDUMP = 2
 EX_TRANSIENT = 3
 EX_RESTPROC = 4
+EX_JOBLOST = 5
+EX_FENCED = 6

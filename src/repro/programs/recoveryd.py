@@ -1,0 +1,219 @@
+"""``recoveryd`` — restart checkpointed jobs whose host crashed.
+
+The missing half of the section 8 checkpointing story: ``ckptd``
+archives snapshots to a directory on the file server, and this daemon
+— run on any surviving workstation — watches that directory and
+brings orphaned jobs back from their latest checkpoint.
+
+Each scan round, for every job directory under the watch directory:
+
+1. read the advisory ``meta`` file (skip jobs that are done, lost,
+   or homed on *this* host);
+2. ask the kernel's failure detector about the job's home host
+   (``hb_status``); only **suspected-dead** homes are touched;
+3. claim the job by creating ``claim.<epoch+1>`` with
+   ``O_CREAT|O_EXCL`` — an atomic test-and-set on the server.  Losing
+   the race (or failing to reach the server) means somebody else owns
+   the recovery, so skip;
+4. stage the archived round-*N* dump into the local ``/usr/tmp``
+   under the names ``restart`` expects, restore the snapshotted open
+   files, and run ``restart -k``; like ``migrate``, success is
+   observed as the kernel consuming the staged a.out;
+5. rewrite ``meta`` for the new home/pid/epoch and, if checkpoint
+   rounds remain, hand the job to a fresh local ``ckptd -e <epoch+1>``
+   so it keeps being checkpointed (and keeps honouring the fence).
+
+Exactly-once across a partition heal: the claim file is the fence.  A
+``ckptd`` cut off from the server cannot *disprove* a claim, so it
+kills its copy (``EX_FENCED``); one that can see the directory dies
+the moment it reads a higher claim.  Either way at most one live copy
+survives the heal.
+
+Usage: ``recoveryd [-i interval] [-n rounds] <watchdir>`` (defaults
+from the ``recovery_interval_s`` / ``recovery_rounds`` sysctl knobs).
+"""
+
+from repro.errors import iserr, ENOENT, UnixError
+from repro.core.formats import FilesInfo, dump_file_names
+from repro.kernel.constants import O_CREAT, O_EXCL, O_RDONLY, O_WRONLY
+from repro.programs.base import (parse_options, print_err, println,
+                                 read_file, write_file)
+from repro.programs.ckmeta import claim_name, read_meta, write_meta
+from repro.programs.exitcodes import EX_FAIL, EX_OK
+
+USAGE = "usage: recoveryd [-i interval] [-n rounds] watchdir"
+
+
+def recoveryd_main(argv, env):
+    options, positional = parse_options(argv, {"-i": True,
+                                               "-n": True})
+    if positional is None or len(positional) != 1:
+        yield from print_err(USAGE)
+        return EX_FAIL
+    watchdir = positional[0]
+    try:
+        interval = float(options["-i"]) if "-i" in options \
+            else (yield ("sysctl", "recovery_interval_s"))
+        rounds = int(options["-n"]) if "-n" in options \
+            else (yield ("sysctl", "recovery_rounds"))
+    except ValueError:
+        yield from print_err(USAGE)
+        return EX_FAIL
+
+    yield ("hb_start",)
+    local = yield ("gethostname",)
+    for __ in range(rounds):
+        yield ("sleep", interval)
+        names = yield ("readdir", watchdir)
+        if iserr(names):
+            continue  # the server may be down; try again next round
+        for name in names:
+            stat = yield ("stat", "%s/%s" % (watchdir, name))
+            if iserr(stat) or not stat.is_dir():
+                continue
+            yield from _consider("%s/%s" % (watchdir, name), local)
+    return EX_OK
+
+
+def _consider(directory, local):
+    """Recover one job directory if its home host is suspected dead."""
+    meta = yield from read_meta(directory)
+    if iserr(meta) or meta.get("status") != "running":
+        return
+    home = meta.get("host")
+    if not home or home == local:
+        return
+    suspected = yield ("hb_status", home)
+    if suspected != 1:
+        return
+
+    # the fence: atomically claim the next epoch.  EEXIST = somebody
+    # beat us to it; any other error = server unreachable.  Either
+    # way this job is not ours this round.
+    epoch = meta.get("epoch", 0) + 1
+    fd = yield ("open", "%s/%s" % (directory, claim_name(epoch)),
+                O_WRONLY | O_CREAT | O_EXCL, 0o644)
+    if iserr(fd):
+        return
+    yield ("close", fd)
+
+    saved = meta.get("round", -1)
+    if saved < 0:
+        # crashed before the first checkpoint landed: nothing to
+        # restart from — record the loss so nobody keeps trying
+        meta.update(host=local, epoch=epoch, status="lost")
+        yield from write_meta(directory, meta)
+        yield from print_err("recoveryd: %s: no checkpoint to recover"
+                             % directory)
+        return
+
+    new_pid = yield from _restage(directory, saved, meta["pid"],
+                                  home, local)
+    if new_pid is None:
+        yield from print_err("recoveryd: %s: restart of round %d "
+                             "failed" % (directory, saved))
+        return
+    yield ("perf_note", "recoveries")
+    rounds_left = meta.get("rounds_left", 0)
+    interval = meta.get("interval", 1)
+    meta.update(host=local, pid=new_pid, epoch=epoch)
+    yield from write_meta(directory, meta)
+    if rounds_left > 0:
+        yield ("spawn", "/bin/ckptd",
+               ["ckptd", "-e", str(epoch), "-s", str(saved + 1),
+                str(new_pid), str(interval), str(rounds_left),
+                directory])
+    yield from println(
+        "recoveryd: recovered %s from %s round %d, pid %d epoch %d"
+        % (directory, home, saved, new_pid, epoch))
+
+
+def _rehome(info, home, local):
+    """Point a dump's paths at *this* host instead of the dead home.
+
+    ``dumpproc`` rewrote every path to ``/n/<home>/...`` so a migrated
+    process keeps using its home machine's files (section 4.4).  In
+    recovery the home is gone — the snapshots of those files are being
+    restored locally — so strip the prefix back off and adopt the job.
+    """
+    prefix = "/n/%s" % home
+
+    def strip(path):
+        if path == prefix or path.startswith(prefix + "/"):
+            return path[len(prefix):] or "/"
+        return path
+
+    info.hostname = local
+    info.cwd = strip(info.cwd)
+    for entry in info.entries:
+        if entry.path:
+            entry.path = strip(entry.path)
+
+
+def _restage(directory, round_no, pid, home, local):
+    """Stage round ``round_no`` locally (rehomed) and restart it.
+
+    Returns the restarted job's pid (the restart child *becomes* the
+    job), or None.
+    """
+    targets = dump_file_names(pid)
+    info = None
+    for kind, target in zip(("aout", "files", "stack"), targets):
+        data = yield from read_file("%s/ck%d.%s" % (directory,
+                                                    round_no, kind))
+        if iserr(data):
+            yield from _unstage(targets)
+            return None
+        if kind == "files":
+            try:
+                info = FilesInfo.unpack(data)
+            except UnixError:
+                yield from _unstage(targets)
+                return None
+            _rehome(info, home, local)
+            data = info.pack()
+        result = yield from write_file(target, data)
+        if iserr(result):
+            yield from _unstage(targets)
+            return None
+        if kind == "aout":
+            yield ("chmod", target, 0o700)
+
+    # put the snapshotted open files back where the job expects them
+    seen = set()
+    for slot, entry in enumerate(info.entries):
+        if not entry.is_file() or entry.path in seen \
+                or entry.path.startswith("/dev/"):
+            continue
+        seen.add(entry.path)
+        data = yield from read_file("%s/ck%d.fd%d" % (directory,
+                                                      round_no, slot))
+        if iserr(data):
+            continue  # not snapshotted (a device, or unreadable then)
+        yield from write_file(entry.path, data)
+
+    child = yield ("spawn", "/bin/restart",
+                   ["restart", "-k", "-p", str(pid)])
+    if iserr(child):
+        yield from _unstage(targets)
+        return None
+    poll_tries = yield ("sysctl", "restart_poll_tries")
+    poll_sleep = yield ("sysctl", "restart_poll_sleep_s")
+    for __ in range(max(1, poll_tries)):
+        fd = yield ("open", targets[0], O_RDONLY, 0)
+        if fd == -ENOENT:
+            return child  # rest_proc consumed the dump: it took
+        if not iserr(fd):
+            yield ("close", fd)
+        reaped = yield ("reap",)
+        if isinstance(reaped, tuple) and reaped[0] == child:
+            yield from _unstage(targets)
+            return None
+        yield ("sleep", poll_sleep)
+    yield from _unstage(targets)
+    return None
+
+
+def _unstage(targets):
+    for path in targets:
+        yield ("unlink", path)

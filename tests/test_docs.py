@@ -14,6 +14,7 @@ _MAN_BINARIES = {
     "migrate.1.md": "migrate",
     "migrationd.8.md": "migrationd",
     "ckptd.8.md": "ckptd",
+    "recoveryd.8.md": "recoveryd",
     "sh.1.md": "sh",
 }
 

@@ -278,3 +278,251 @@ def test_unfaulted_run_identical_to_no_plan():
     bare = _run_scenario("fast", "", seed=0)
     assert bare[3].exit_status == 0
     assert bare[0].cluster.perf.faults_injected == 0
+
+
+# -- host-level chaos: crashes and partitions -------------------------------
+#
+# The crash/partition fault kinds (DESIGN.md section 8).  Every
+# scenario runs under BOTH engines and the two summaries must match
+# exactly — a crashed host is still a deterministic event.
+
+
+def test_parse_crash_and_partition_kinds():
+    plan = FaultPlan.parse("""
+        restproc.overlay crash n=1
+        net.connect crash n=1 target=brador
+        net.connect partition n=1 peer=schooner
+    """)
+    assert [r.kind for r in plan.rules] == \
+        ["crash", "crash", "partition"]
+    assert plan.rules[1].target == "brador"
+    assert plan.rules[2].peer == "schooner"
+    with pytest.raises(ValueError):
+        FaultPlan.parse("net.connect partition n=1")  # peer missing
+
+
+def _summarize_hosts(site, plan, handle):
+    """Engine-comparable summary for scenarios where hosts die."""
+    perf = site.cluster.perf
+    hosts = ("brick", "schooner", "brador")
+    return {
+        "status": handle.exit_status if handle.exited else None,
+        "alive": tuple(n for n in hosts if site.machine(n).running),
+        "restarted": site.find_restarted("schooner") is not None,
+        "fired": plan.fired(),
+        "host_crashes": perf.host_crashes,
+        "net_partitions": perf.net_partitions,
+        "hb_suspects": perf.hb_suspects,
+        "clocks_us": tuple(site.machine(n).clock.now_us
+                           for n in hosts),
+        "consoles": tuple(site.console(n) for n in hosts),
+    }
+
+
+def _host_scenario(engine, spec, typed_on="schooner"):
+    site = MigrationSite(costs=CostModel(**FAST_KNOBS), engine=engine)
+    site.run_quiet()
+    victim = start_counter(site)
+    plan = site.cluster.inject_faults(spec, seed=77)
+    handle = site.migrate(victim.pid, "brick", "schooner",
+                          typed_on=typed_on, use_daemon=True,
+                          wait_resumed=False)
+    site.run_until(lambda: handle.exited, max_steps=20_000_000)
+    site.run_quiet(max_steps=20_000_000)
+    return site, victim, plan, handle
+
+
+def _engines_agree(run):
+    """Run a host scenario on both engines; return the summaries."""
+    summaries = {}
+    for engine in ("scan", "fast"):
+        site, victim, plan, handle = run(engine)
+        summaries[engine] = _summarize_hosts(site, plan, handle)
+        summaries[engine]["victim_alive"] = (
+            site.machine("brick").running
+            and site.machine("brick").kernel.procs.lookup(victim.pid)
+            is not None)
+        # every surviving workstation still schedules fresh work
+        for host in ("brick", "schooner"):
+            if site.machine(host).running:
+                assert site.run_command(host, ["ps"], uid=100) == 0
+    assert summaries["scan"] == summaries["fast"], "engines disagree"
+    return summaries["fast"]
+
+
+def test_crash_mid_dump_kills_the_source_host():
+    """The source host dies while the dump files are being written:
+    migrate degrades, the survivors keep working."""
+    summary = _engines_agree(
+        lambda engine: _host_scenario(engine,
+                                      "dump.write.files crash n=1"))
+    assert summary["alive"] == ("schooner", "brador")
+    assert summary["status"] not in (None, 0)
+    assert not summary["restarted"]
+    assert summary["host_crashes"] == 1
+    assert ("dump.write.files", "crash", 1) in summary["fired"]
+
+
+def test_crash_mid_restart_kills_the_destination_host():
+    """The destination dies inside rest_proc; migrate (typed on the
+    surviving source) gives up gracefully."""
+    summary = _engines_agree(
+        lambda engine: _host_scenario(engine,
+                                      "restproc.overlay crash n=1",
+                                      typed_on="brick"))
+    assert summary["alive"] == ("brick", "brador")
+    assert summary["status"] not in (None, 0)
+    assert not summary["restarted"]
+    # the dump consumed the victim and the restart never landed: the
+    # process is lost, but the pipeline said so instead of hanging
+    assert summary["victim_alive"] is False
+
+
+def test_crash_of_the_file_server_spares_the_migration():
+    """brador (the NFS home-directory server) dies mid-migration; the
+    workstation-to-workstation pipeline doesn't touch it and wins."""
+    summary = _engines_agree(
+        lambda engine: _host_scenario(
+            engine, "net.connect crash n=1 target=brador"))
+    assert summary["alive"] == ("brick", "schooner")
+    assert summary["status"] == 0
+    assert summary["restarted"]
+
+
+def test_partition_during_migrate_then_heal():
+    """A partition between the hosts makes connects time out; the
+    victim survives in place, and after heal() the same migration
+    succeeds."""
+    def run(engine):
+        site, victim, plan, handle = _host_scenario(
+            engine, "net.connect partition n=1 peer=brick")
+        assert handle.exit_status != 0
+        # the victim never left: the dump request could not even
+        # reach the source host
+        proc = site.machine("brick").kernel.procs.lookup(victim.pid)
+        assert proc is not None and not proc.zombie()
+        site.cluster.heal()
+        again = site.migrate(victim.pid, "brick", "schooner",
+                             use_daemon=True)
+        site.run_quiet(max_steps=20_000_000)
+        assert again.exit_status == 0
+        return site, victim, plan, again
+
+    summary = _engines_agree(run)
+    assert summary["alive"] == ("brick", "schooner", "brador")
+    assert summary["net_partitions"] == 1
+    assert summary["restarted"]
+
+
+def test_reboot_then_rejoin():
+    """A crashed host comes back with a wiped /usr/tmp, re-serves its
+    NFS exports, and (daemons restarted) accepts a migration."""
+    from repro.programs import start_network_daemons
+
+    def run(engine):
+        site = MigrationSite(costs=CostModel(**FAST_KNOBS),
+                             engine=engine)
+        site.run_quiet()
+        brick = site.machine("brick")
+        brick.fs.install_file("/usr/tmp/stale", b"leftover")
+        site.cluster.crash_host("brick")
+        assert not brick.running
+        # dead hosts export nothing
+        with pytest.raises(UnixError):
+            site.cluster.exported_fs("brick")
+        site.run_quiet(max_steps=20_000_000)
+
+        site.cluster.reboot_host("brick")
+        assert brick.running
+        with pytest.raises(UnixError):
+            brick.fs.resolve_local("/usr/tmp/stale")  # wiped at boot
+        start_network_daemons(brick)
+        site.run_quiet()
+        victim = start_counter(site, host="schooner")
+        plan = site.cluster.inject_faults("")  # no faults: clean rejoin
+        handle = site.migrate(victim.pid, "schooner", "brick",
+                              typed_on="brick", use_daemon=True)
+        site.run_quiet(max_steps=20_000_000)
+        assert handle.exit_status == 0
+        assert site.find_restarted("brick") is not None
+        return site, victim, plan, handle
+
+    summaries = {}
+    for engine in ("scan", "fast"):
+        site, victim, plan, handle = run(engine)
+        perf = site.cluster.perf
+        assert perf.host_crashes == 1 and perf.host_reboots == 1
+        summaries[engine] = {
+            "status": handle.exit_status,
+            "clocks_us": tuple(site.machine(n).clock.now_us
+                               for n in ("brick", "schooner",
+                                         "brador")),
+            "consoles": tuple(site.console(n)
+                              for n in ("brick", "schooner")),
+        }
+    assert summaries["scan"] == summaries["fast"]
+
+
+def test_double_recovery_race_partition_then_heal():
+    """The exactly-once guarantee: a partitioned-away recovery daemon
+    claims the job with a higher epoch; the home ckptd sees the claim
+    (the file server stayed reachable) and kills its copy.  After the
+    heal exactly one live copy exists cluster-wide."""
+    from repro.programs.exitcodes import EX_FENCED
+
+    def run(engine):
+        site = MigrationSite(costs=CostModel(**FAST_KNOBS),
+                             engine=engine)
+        site.run_quiet()
+        site.machine("brador").fs.makedirs("/tmp/ckpt", mode=0o777)
+        victim = start_counter(site)
+        job_dir = "/n/brador/tmp/ckpt/job1"
+        ckptd = site.machine("brick").spawn(
+            "/bin/ckptd", ["ckptd", str(victim.pid), "3", "5",
+                           job_dir], uid=100, cwd="/tmp")
+        recoveryd = site.machine("schooner").spawn(
+            "/bin/recoveryd", ["recoveryd", "-i", "1", "-n", "40",
+                               "/n/brador/tmp/ckpt"], uid=100,
+            cwd="/tmp")
+        site.run_until(
+            lambda: "checkpoint 0 taken" in site.console("brick"),
+            max_steps=20_000_000)
+        # cut brick off from schooner only — brador (where the
+        # checkpoints and the fence live) stays reachable from both
+        site.cluster.partition("brick", "schooner")
+        site.run_until(lambda: ckptd.exited and recoveryd.exited,
+                       max_steps=40_000_000)
+        site.cluster.heal()
+        site.run_quiet(max_steps=20_000_000)
+
+        assert ckptd.exit_status == EX_FENCED
+        assert "fenced at epoch 0" in site.console("brick")
+        assert "recoveryd: recovered" in site.console("schooner")
+        # exactly one live copy of the job in the whole cluster
+        live = []
+        for name in ("brick", "schooner", "brador"):
+            kernel = site.machine(name).kernel
+            live.extend(
+                "%s:%d" % (name, p.pid)
+                for p in kernel.procs.all_procs()
+                if p.is_vm() and p.command.startswith("a.out")
+                and not p.zombie())
+        assert len(live) == 1 and live[0].startswith("schooner:")
+        return site
+
+    summaries = {}
+    for engine in ("scan", "fast"):
+        site = run(engine)
+        perf = site.cluster.perf
+        assert perf.recoveries == 1
+        assert perf.hb_suspects >= 1
+        summaries[engine] = {
+            "clocks_us": tuple(site.machine(n).clock.now_us
+                               for n in ("brick", "schooner",
+                                         "brador")),
+            "consoles": tuple(site.console(n)
+                              for n in ("brick", "schooner")),
+            "recoveries": perf.recoveries,
+            "suspects": perf.hb_suspects,
+        }
+    assert summaries["scan"] == summaries["fast"]
