@@ -9,8 +9,45 @@ remote->local cases is due to the fact that, in each case, different
 programs are executed with a remote shell."
 """
 
+import json
+import os
+
 from repro.bench import fig4
+from repro.obs import to_chrome, validate_chrome
 from conftest import run_figure
+
+#: the migration-phase breakdown, in pipeline order (DESIGN.md §9)
+PHASES = ["signal", "dump", "rewrite", "transfer", "restart", "ack"]
+
+
+def test_fig4_phase_timeline():
+    """Tracing the figure-4 migrations yields span timelines whose
+    phase durations sum exactly to each migration's end-to-end
+    latency, bounded by the wall-clock latency the figure reports.
+
+    Deliberately not a ``benchmark``-fixture test so the CI trace
+    job can run it without pytest-benchmark.  Set ``TRACE_OUT`` to
+    also write the last case's Chrome trace for chrome://tracing.
+    """
+    result = fig4(trace=True)
+    chrome = None
+    for row in result["rows"]:
+        timeline = row["timeline"]
+        assert timeline is not None, row["case"]
+        assert [p["phase"] for p in timeline["phases"]] == PHASES
+        total = sum(p["duration_us"] for p in timeline["phases"])
+        # the phases telescope: they sum to the end-to-end latency
+        # (floating-point sum, hence the epsilon, not a tolerance)
+        assert abs(total - timeline["end_to_end_us"]) < 1e-6
+        # ...which is itself bounded by the figure's wall-clock number
+        assert timeline["end_to_end_us"] <= row["migrate_us"] + 1e-6
+        assert all(p["duration_us"] >= 0 for p in timeline["phases"])
+        chrome = to_chrome(row["trace_events"])
+        validate_chrome(chrome)
+    out = os.environ.get("TRACE_OUT")
+    if out:
+        with open(out, "w") as fh:
+            json.dump(chrome, fh, indent=1, sort_keys=True)
 
 
 def test_fig4_migrate(benchmark):

@@ -44,11 +44,18 @@ STORM_AT_US = 150_000.0
 
 
 def run_storm(engine, machines=DEFAULT_MACHINES, procs=DEFAULT_PROCS,
-              iterations=DEFAULT_ITERATIONS):
-    """Run the storm on one engine; returns (fingerprint, stats)."""
+              iterations=DEFAULT_ITERATIONS, trace=False):
+    """Run the storm on one engine; returns (fingerprint, stats).
+
+    ``trace=True`` turns on full-category event tracing — used by
+    ``bench_trace_smoke.py`` to measure tracing overhead and to check
+    that tracing never perturbs virtual time.
+    """
     names = ["w%d" % i for i in range(machines)]
     site = MigrationSite(workstations=names, server=None,
                          daemons=False, engine=engine)
+    if trace:
+        site.cluster.tracer.enable()
     timer = RealStopwatch()
     handles = []
     for k in range(procs):
@@ -105,6 +112,8 @@ def run_storm(engine, machines=DEFAULT_MACHINES, procs=DEFAULT_PROCS,
     }
     stats = site.cluster.perf.snapshot(elapsed_s=elapsed)
     stats["migrations"] = migrated
+    if trace:
+        stats["trace_events"] = len(site.cluster.tracer.events)
     return fingerprint, stats
 
 

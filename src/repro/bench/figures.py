@@ -244,17 +244,29 @@ FIG4_CASES = [
 ]
 
 
-def fig4(costs=None, use_daemon=False):
+def fig4(costs=None, use_daemon=False, trace=False):
     """Figure 4: migrate vs separate dumpproc+restart, four ways.
 
     The first case has no real analogue in a two-host move (migrate
     typed where both commands would be local is impossible when source
     and destination differ), so it is measured as a same-machine
     migrate on brick, like the paper's L=local row.
+
+    With ``trace=True`` each migration is recorded by the cluster
+    tracer and its row carries the span ``timeline`` (the paper's
+    phase breakdown) plus the raw ``trace_events``; the baseline
+    sites stay untraced.
     """
     rows = []
     for label, typed_on, paper in FIG4_CASES:
         site, handle = _counter_site(costs, daemons=True)
+        if trace:
+            site.cluster.tracer.enable("dump", "restart", "migrate")
+            # align clocks so the span timeline (stamped on the
+            # emitting machines' clocks) is commensurable with the
+            # wall-clock latency the figure reports
+            site.cluster.sync_clocks()
+        mig = "brick:%d" % handle.pid
         baseline_site, baseline_handle = _counter_site(costs,
                                                        daemons=True)
         # "the appropriate machines" for this case: the L->L case's
@@ -272,13 +284,18 @@ def fig4(costs=None, use_daemon=False):
         else:
             migrate_us = _timed_migrate(site, handle.pid, typed_on,
                                         use_daemon=use_daemon)
-        rows.append({
+        row = {
             "case": label,
             "migrate_us": migrate_us,
             "dumpproc_restart_us": baseline_us,
             "measured": migrate_us / baseline_us,
             "paper": paper,
-        })
+        }
+        if trace:
+            row["timeline"] = site.cluster.tracer.migration_timeline(
+                mig)
+            row["trace_events"] = list(site.cluster.tracer.events)
+        rows.append(row)
     return {"figure": "4", "title": "migrate vs separate "
                                     "dumpproc+restart (real time)",
             "rows": rows}

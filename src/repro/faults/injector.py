@@ -58,11 +58,13 @@ class FaultInjector:
                 perf.faults_injected += 1
                 perf.fault_delay_us += rule.delay_us
                 self.fired.append((site, "delay", detail))
+                self._trace(kernel, "delay", site, detail)
                 kernel.charge_wait(rule.delay_us)
             elif rule.kind == "crash":
                 victim = rule.target or host
                 perf.faults_injected += 1
                 self.fired.append((site, "crash", detail))
+                self._trace(kernel, "crash", site, detail)
                 cluster.crash_host(victim)
                 if victim == host:
                     # this very machine died mid-syscall; unwind all
@@ -71,14 +73,22 @@ class FaultInjector:
             elif rule.kind == "partition":
                 perf.faults_injected += 1
                 self.fired.append((site, "partition", detail))
+                self._trace(kernel, "partition", site, detail)
                 cluster.partition(rule.target or host, rule.peer)
             elif failure is None:
                 failure = rule
         if failure is not None:
             perf.faults_injected += 1
             self.fired.append((site, "fail", detail))
+            self._trace(kernel, "fail", site, detail)
             raise UnixError(failure.errno,
                             "fault injected at %s" % site)
+
+    @staticmethod
+    def _trace(kernel, kind, site, detail):
+        if kernel.tracer.enabled:
+            kernel.tracer.emit("fault", kind, kernel.machine,
+                               site=site, detail=detail)
 
     def filter(self, kernel, site, data, detail=""):
         """Data site: pass ``data`` through any corrupt rules."""
@@ -92,5 +102,6 @@ class FaultInjector:
             perf.faults_injected += 1
             perf.fault_corruptions += 1
             self.fired.append((site, "corrupt", detail))
+            self._trace(kernel, "corrupt", site, detail)
             data = _mangle(data, rule.rng)
         return data

@@ -37,6 +37,10 @@ class DumpSupport:
             return False
         image = proc.image.image
         aout_path, files_path, stack_path = dump_file_names(proc.pid)
+        # a migration is keyed by where the dump was taken
+        mig = "%s:%d" % (self.hostname, proc.pid)
+        self.tracer.span_begin("dump", "dump", mig, self.machine,
+                               pid=proc.pid)
 
         written = []
         try:
@@ -63,8 +67,14 @@ class DumpSupport:
                 self._kunlink_quiet(proc, path)
             self.log("SIGDUMP: dump of pid %d failed: %s"
                      % (proc.pid, err))
+            self.tracer.span_end("dump", "dump", mig, self.machine,
+                                 ok=False, pid=proc.pid)
             return False
         proc.dumped = True
+        self.machine.cluster.perf.metrics.inc("dumps",
+                                              host=self.hostname)
+        self.tracer.span_end("dump", "dump", mig, self.machine,
+                             ok=True, pid=proc.pid)
         self.log("SIGDUMP: pid %d dumped to %s/{a.out,files,stack}%d"
                  % (proc.pid, DUMPDIR, proc.pid))
         return True

@@ -58,6 +58,10 @@ class Kernel(FileSyscalls, ProcSyscalls, MiscSyscalls, ExecSupport,
     def __init__(self, machine):
         self.machine = machine
         self.costs = machine.costs
+        #: the cluster tracer, cached so every emission site pays a
+        #: single attribute check when tracing is off; a reboot builds
+        #: a fresh kernel and re-caches it here
+        self.tracer = machine.cluster.tracer
         self.procs = ProcTable()
         self.files = FileTable()
         self.scheduler = Scheduler(self)
@@ -312,6 +316,9 @@ class Kernel(FileSyscalls, ProcSyscalls, MiscSyscalls, ExecSupport,
 
     def post_signal(self, target, sig):
         """Post ``sig`` to ``target`` and wake it if necessary."""
+        if self.tracer.enabled:
+            self.tracer.emit("signal", sig_mod.signal_name(sig),
+                             self.machine, pid=target.pid)
         target.user.sig.post(sig)
         self.charge(self.costs.signal_post_us)
         action = target.user.sig.action(sig)

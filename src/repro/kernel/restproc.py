@@ -26,6 +26,7 @@ have been unrecoverable).
 
 from repro.errors import UnixError, EINVAL, ENOMEM
 from repro.kernel.flow import ProcessOverlaid
+from repro.obs import dump_migration_id
 
 
 class RestProcSupport:
@@ -40,6 +41,25 @@ class RestProcSupport:
         enough resources ... or something was wrong with the two
         files".
         """
+        # the restart span covers reading the dump files (the
+        # transfer, when they live on the source) and the overlay
+        mig = dump_migration_id(aout_path, self.hostname)
+        self.tracer.span_begin("restart", "rest_proc", mig,
+                               self.machine, pid=proc.pid)
+        try:
+            self._rest_proc_body(proc, aout_path, stack_path)
+        except ProcessOverlaid:
+            self.machine.cluster.perf.metrics.inc(
+                "restarts", host=self.hostname)
+            self.tracer.span_end("restart", "rest_proc", mig,
+                                 self.machine, ok=True, pid=proc.pid)
+            raise
+        except BaseException:
+            self.tracer.span_end("restart", "rest_proc", mig,
+                                 self.machine, ok=False, pid=proc.pid)
+            raise
+
+    def _rest_proc_body(self, proc, aout_path, stack_path):
         from repro.core.formats import StackInfo
         real0 = self.clock.now_us
         cpu0 = proc.cpu_us()

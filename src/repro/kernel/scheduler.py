@@ -125,6 +125,9 @@ class Scheduler:
         if proc is None:
             return False
         kernel.curproc = proc
+        if kernel.tracer.enabled:
+            kernel.tracer.emit("sched", "run", kernel.machine,
+                               pid=proc.pid)
         kernel.charge(kernel.costs.context_switch_us, proc=proc)
         try:
             if not self.check_signals(proc):

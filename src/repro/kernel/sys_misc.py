@@ -149,8 +149,85 @@ class MiscSyscalls:
         """
         if counter not in ("retries", "timeouts", "recoveries"):
             raise UnixError(EINVAL, "perf_note %r" % (counter,))
+        if isinstance(amount, bool) \
+                or not isinstance(amount, (int, float)):
+            raise UnixError(EINVAL, "perf_note amount %r" % (amount,))
         self.machine.cluster.perf.note(counter, amount)
+        if counter == "recoveries":
+            self.machine.cluster.perf.metrics.inc(
+                "recoveries", amount, host=self.hostname)
+            if self.tracer.enabled:
+                self.tracer.emit("recovery", "recovered", self.machine,
+                                 pid=proc.pid)
         return 0
+
+    # -- observability (DESIGN.md section 9) ---------------------------------
+
+    def sys_trace_status(self, proc):
+        """1 if cluster tracing is currently enabled, else 0."""
+        return 1 if self.tracer.enabled else 0
+
+    def sys_trace_mark(self, proc, cat, name, mig=None):
+        """Record one instant event from a user command.
+
+        Only the high-level pipeline categories are writable from
+        userland; the kernel-owned categories stay kernel-private.
+        """
+        if cat not in ("migrate", "recovery"):
+            raise UnixError(EINVAL, "trace_mark category %r" % (cat,))
+        if not isinstance(name, str) or not name:
+            raise UnixError(EINVAL, "trace_mark name %r" % (name,))
+        if self.tracer.enabled:
+            if mig is None:
+                self.tracer.emit(cat, name, self.machine,
+                                 pid=proc.pid)
+            else:
+                self.tracer.emit(cat, name, self.machine,
+                                 pid=proc.pid, mig=str(mig))
+        return 0
+
+    def sys_trace_span(self, proc, cat, which, mig, ok=1):
+        """Open (``which="B"``) or close (``"E"``) a span from a user
+        command — how ``migrate`` brackets its end-to-end phase."""
+        if cat not in ("migrate", "recovery"):
+            raise UnixError(EINVAL, "trace_span category %r" % (cat,))
+        if which not in ("B", "E"):
+            raise UnixError(EINVAL, "trace_span %r" % (which,))
+        if not isinstance(mig, str) or not mig:
+            raise UnixError(EINVAL, "trace_span mig %r" % (mig,))
+        if which == "B":
+            self.tracer.span_begin(cat, cat, mig, self.machine,
+                                   pid=proc.pid)
+        else:
+            self.tracer.span_end(cat, cat, mig, self.machine,
+                                 ok=bool(ok), pid=proc.pid)
+            if cat == "migrate" and ok:
+                self.machine.cluster.perf.metrics.inc(
+                    "migrations", host=self.hostname)
+        return 0
+
+    def sys_migstat(self, proc):
+        """Per-host migration/fault/heartbeat stats for migstat(1).
+
+        The metrics-registry sibling of getproctab(): a snapshot of
+        the cluster-wide labelled counters, one row per host.
+        """
+        metrics = self.machine.cluster.perf.metrics
+        rows = []
+        for host in self.machine.cluster.hosts():
+            machine = self.machine.cluster.machines[host]
+            rows.append({
+                "host": host,
+                "up": 1 if machine.running else 0,
+                "dumps": metrics.total("dumps", host=host),
+                "restarts": metrics.total("restarts", host=host),
+                "migrations": metrics.total("migrations", host=host),
+                "recoveries": metrics.total("recoveries", host=host),
+                "crashes": metrics.total("host_crashes", host=host),
+                "suspects": metrics.total("hb_suspects", host=host),
+            })
+        self.charge(self.costs.filetable_op_us * max(1, len(rows)))
+        return rows
 
     # -- heartbeat failure detector ------------------------------------------
 

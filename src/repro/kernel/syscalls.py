@@ -65,6 +65,8 @@ NR = {
     "getpid_real": 90,
     "gethostname_real": 91,
     "set_oldids": 92,
+    # observability (DESIGN.md section 9)
+    "trace_status": 93,
 }
 
 NR_TO_NAME = {number: name for name, number in NR.items()}
@@ -140,6 +142,9 @@ def vm_syscall(kernel, proc):
     number = regs.d[0]
     d1, d2, d3 = regs.d[1], regs.d[2], regs.d[3]
     name = NR_TO_NAME.get(number)
+    if kernel.tracer.enabled:
+        kernel.tracer.emit("syscall", name or "nr%d" % number,
+                           kernel.machine, pid=proc.pid)
 
     if name == "exit":
         return kernel.sys_exit(proc, d1)
@@ -279,6 +284,8 @@ def vm_syscall(kernel, proc):
         return len(blob)
     if name == "isatty":
         return kernel.sys_isatty(proc, d1)
+    if name == "trace_status":
+        return kernel.sys_trace_status(proc)
 
     raise UnixError(EINVAL, "bad syscall %d" % number)
 
@@ -298,7 +305,8 @@ _NATIVE_SIMPLE = {
     "connect", "execve", "rest_proc", "stat", "fstat", "rsh_setup",
     "daemon_setup", "chmod", "chown", "access", "link", "rename",
     "read_timeout", "reap", "sysctl", "perf_note", "hb_start",
-    "hb_status", "readdir",
+    "hb_status", "readdir", "trace_status", "trace_mark",
+    "trace_span", "migstat",
 }
 
 
@@ -307,6 +315,9 @@ def native_request(kernel, proc, request):
     if not isinstance(request, tuple) or not request:
         raise UnixError(EINVAL, "bad native request %r" % (request,))
     name, args = request[0], request[1:]
+    if kernel.tracer.enabled:
+        kernel.tracer.emit("syscall", name, kernel.machine,
+                           pid=proc.pid)
     if name == "lstat":
         return kernel.sys_stat(proc, args[0], follow=False)
     if name in _NATIVE_SIMPLE:

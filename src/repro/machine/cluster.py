@@ -38,6 +38,7 @@ from repro.errors import EHOSTDOWN, UnixError
 from repro.faults import FaultInjector, FaultPlan
 from repro.machine.machine import Machine
 from repro.net.network import Network
+from repro.obs import Tracer
 from repro.perf import PerfCounters
 
 _INF = float("inf")
@@ -55,9 +56,12 @@ class Cluster:
             raise ValueError("unknown engine %r" % engine)
         self.costs = costs or CostModel()
         self.machines = {}
+        self.perf = PerfCounters()
+        # the tracer must exist before the network and any kernels,
+        # which cache a reference to it
+        self.tracer = Tracer(self)
         self.network = Network(self)
         self.engine = engine
-        self.perf = PerfCounters()
         self.faults = FaultInjector()
         # fast-driver state: a lazy min-heap of (next_time, order,
         # token, machine).  Stale entries are detected by token (bumped
@@ -130,6 +134,9 @@ class Cluster:
         if not machine.running:
             return
         self.perf.host_crashes += 1
+        self.perf.metrics.inc("host_crashes", host=name)
+        if self.tracer.enabled:
+            self.tracer.emit("fault", "host_crash", machine)
         base = self.wall_time_us()
         self.network.host_crashed(machine,
                                   base + self.costs.message_us(0))
@@ -145,6 +152,9 @@ class Cluster:
             raise ValueError("unknown machine %r" % name)
         machine.reboot()
         self.perf.host_reboots += 1
+        self.perf.metrics.inc("host_reboots", host=name)
+        if self.tracer.enabled:
+            self.tracer.emit("fault", "host_reboot", machine)
         return machine
 
     def partition(self, a, b):

@@ -53,8 +53,10 @@ class HeartbeatMonitor:
                 if m is not self.machine]
 
     def _probe_all(self, now):
-        perf = self.machine.cluster.perf
-        network = self.machine.cluster.network
+        cluster = self.machine.cluster
+        perf = cluster.perf
+        network = cluster.network
+        tracer = cluster.tracer
         timeout_us = self.machine.costs.hb_timeout_s * 1_000_000.0
         for peer in self._peers():
             perf.hb_probes += 1
@@ -65,6 +67,9 @@ class HeartbeatMonitor:
                 if peer.name in self.suspected:
                     self.suspected.discard(peer.name)
                     perf.hb_recoveries += 1
+                    if tracer.enabled:
+                        tracer.emit("hb", "recover", self.machine,
+                                    peer=peer.name)
                 continue
             # benefit of the doubt on the very first probe: treat the
             # lane's start as the last time we heard from the peer, so
@@ -74,6 +79,12 @@ class HeartbeatMonitor:
                     and peer.name not in self.suspected:
                 self.suspected.add(peer.name)
                 perf.hb_suspects += 1
+                perf.metrics.inc("hb_suspects",
+                                 host=self.machine.name,
+                                 peer=peer.name)
+                if tracer.enabled:
+                    tracer.emit("hb", "suspect", self.machine,
+                                peer=peer.name)
 
     def _schedule(self, when_us):
         self.machine.post_event(when_us, self._tick)
@@ -84,6 +95,9 @@ class HeartbeatMonitor:
             return  # the host died or rebooted under us
         now = machine.clock.now_us
         machine.cluster.perf.hb_ticks += 1
+        tracer = machine.cluster.tracer
+        if tracer.enabled:
+            tracer.emit("hb", "tick", machine)
         try:
             machine.kernel.fault_check("hb.tick", machine.name)
         except UnixError:

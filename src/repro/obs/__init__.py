@@ -1,0 +1,15 @@
+"""Observability: deterministic tracing, spans, and labelled metrics.
+
+Everything in here records; nothing in here may ever influence
+virtual time.  See DESIGN.md section 9 and docs/man/tracefmt.5.md.
+"""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.export import (to_jsonl, write_jsonl, to_chrome,
+                              validate_chrome)
+from repro.obs.tracer import Tracer, CATEGORIES, dump_migration_id
+
+__all__ = [
+    "MetricsRegistry", "Tracer", "CATEGORIES", "dump_migration_id",
+    "to_jsonl", "write_jsonl", "to_chrome", "validate_chrome",
+]

@@ -1,0 +1,128 @@
+"""Labelled counters and virtual-time histograms.
+
+One :class:`MetricsRegistry` lives on the cluster's
+:class:`~repro.perf.counters.PerfCounters` and absorbs the statistics
+that the flat counters cannot express: anything keyed by host, peer,
+migration phase or process.  Like every other observation facility it
+may never influence virtual time — it only records numbers the
+simulation already computed.
+
+Conventions:
+
+* a metric is addressed by name plus a set of labels
+  (``inc("dumps", host="brick")``);
+* histograms bucket by power of two, exactly like the engine's
+  burst-length histogram, so virtual-time durations of wildly
+  different magnitudes stay readable;
+* :meth:`MetricsRegistry.snapshot` renders everything into a
+  deterministic JSON-ready dict (sorted names, sorted labels) so it
+  can ride along in ``BENCH_perf.json`` and in engine-comparison
+  fingerprints.
+"""
+
+
+def _label_key(labels):
+    """Canonical hashable form of a label set."""
+    return tuple(sorted(labels.items()))
+
+
+def _render(name, label_key):
+    """``name{k=v,...}`` — the human/JSON-facing series name."""
+    if not label_key:
+        return name
+    return "%s{%s}" % (name, ",".join("%s=%s" % pair
+                                      for pair in label_key))
+
+
+def check_number(value, what="metric amount"):
+    """Reject bools (which are ints in Python!) and non-numbers."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError("%s must be a number, got %r" % (what, value))
+    return value
+
+
+class MetricsRegistry:
+    """Per-cluster labelled counters and virtual-time histograms."""
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self._counters = {}  #: (name, label_key) -> number
+        self._hists = {}     #: (name, label_key) -> count/sum/buckets
+
+    # -- recording -------------------------------------------------------
+
+    def inc(self, name, amount=1, **labels):
+        """Bump counter ``name`` for the given label set."""
+        check_number(amount)
+        key = (name, _label_key(labels))
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def observe(self, name, value, **labels):
+        """Record one sample (virtual microseconds, typically) into
+        the power-of-two histogram for ``name``."""
+        check_number(value, "histogram sample")
+        key = (name, _label_key(labels))
+        hist = self._hists.get(key)
+        if hist is None:
+            hist = self._hists[key] = {"count": 0, "sum": 0.0,
+                                       "buckets": {}}
+        hist["count"] += 1
+        hist["sum"] += value
+        bucket = max(0, int(value)).bit_length()
+        hist["buckets"][bucket] = hist["buckets"].get(bucket, 0) + 1
+
+    # -- queries ---------------------------------------------------------
+
+    def total(self, name, **labels):
+        """Sum of counter ``name`` over every series whose labels are
+        a superset of the given ones (``total("dumps")`` sums hosts;
+        ``total("dumps", host="brick")`` picks one)."""
+        want = labels.items()
+        total = 0
+        for (cname, label_key), value in self._counters.items():
+            if cname != name:
+                continue
+            have = dict(label_key)
+            if all(have.get(k) == v for k, v in want):
+                total += value
+        return total
+
+    def sample_count(self, name, **labels):
+        """Number of samples observed into histogram ``name``."""
+        want = labels.items()
+        count = 0
+        for (hname, label_key), hist in self._hists.items():
+            if hname != name:
+                continue
+            have = dict(label_key)
+            if all(have.get(k) == v for k, v in want):
+                count += hist["count"]
+        return count
+
+    def names(self):
+        """Every metric name ever recorded, sorted."""
+        return sorted({name for name, __ in self._counters}
+                      | {name for name, __ in self._hists})
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self):
+        """A JSON-ready, deterministically-ordered dict of everything."""
+        counters = {}
+        for (name, label_key), value in sorted(self._counters.items()):
+            counters[_render(name, label_key)] = value
+        histograms = {}
+        for (name, label_key), hist in sorted(self._hists.items()):
+            histograms[_render(name, label_key)] = {
+                "count": hist["count"],
+                "sum": round(hist["sum"], 6),
+                "buckets": {str(bucket): count for bucket, count
+                            in sorted(hist["buckets"].items())},
+            }
+        return {"counters": counters, "histograms": histograms}
+
+    def __repr__(self):
+        return ("MetricsRegistry(%d counters, %d histograms)"
+                % (len(self._counters), len(self._hists)))

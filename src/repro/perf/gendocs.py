@@ -1,0 +1,27 @@
+"""Regenerate docs/perf_counters.md from the counter docstrings.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.perf.gendocs [output-path]
+
+``tests/test_docs.py`` fails when the checked-in file drifts from
+:func:`repro.perf.counters.counter_reference`, so run this after
+adding or renaming a counter.
+"""
+
+import sys
+
+from repro.perf.counters import counter_reference
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "docs/perf_counters.md"
+    text = counter_reference()
+    with open(path, "w") as handle:
+        handle.write(text)
+    print("wrote %s (%d bytes)" % (path, len(text)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,6 +16,7 @@ def install_standard_programs(machine):
     from repro.programs.restart import restart_main
     from repro.programs.migrate import migrate_main
     from repro.programs.psprog import ps_main
+    from repro.programs.migstat import migstat_main
     from repro.programs.killprog import kill_main
     from repro.net.rsh import rshd_main, rsh_main, rshd_helper_main
     from repro.net.migrationd import (migrationd_main,
@@ -34,6 +35,7 @@ def install_standard_programs(machine):
     machine.install_native_program("restart", restart_main, size=6144)
     machine.install_native_program("migrate", migrate_main, size=6144)
     machine.install_native_program("ps", ps_main, size=28672)
+    machine.install_native_program("migstat", migstat_main, size=8192)
     machine.install_native_program("kill", kill_main, size=8192)
     machine.install_native_program("rsh", rsh_main, size=24576)
     machine.install_native_program("rshd", rshd_main, size=24576)

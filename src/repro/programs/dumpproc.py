@@ -125,6 +125,11 @@ def dumpproc_main(argv, env):
     if iserr(result):
         yield from print_err("dumpproc: cannot rewrite %s" % files_path)
         return EX_TRANSIENT
+    # the rewrite is the boundary between the dump and transfer
+    # phases in the trace timeline (dumpproc always runs on the
+    # source host, so hostname names the dump's origin)
+    yield ("trace_mark", "migrate", "rewrite",
+           "%s:%d" % (hostname, pid))
     return 0
 
 

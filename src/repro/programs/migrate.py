@@ -51,6 +51,10 @@ def migrate_main(argv, env):
     source = opts.get("-f") or local
     destination = opts.get("-t") or local
     remote_runner = "migrationd-run" if opts.get("-d") else "rsh"
+    # bracket the whole pipeline for the trace timeline (DESIGN.md
+    # section 9); the id matches the kernel's dump/restart spans
+    mig = "%s:%d" % (source, pid)
+    yield ("trace_span", "migrate", "B", mig)
 
     attempts = yield ("sysctl", "migrate_attempts")
     backoff = yield ("sysctl", "migrate_backoff_s")
@@ -77,6 +81,7 @@ def migrate_main(argv, env):
     if status != EX_OK:
         yield from _cleanup(dump_paths)
         yield from print_err("migrate: dump on %s failed" % source)
+        yield ("trace_span", "migrate", "E", mig, 0)
         return EX_FAIL
 
     # -- phase 2: restart on the destination host ---------------------------
@@ -93,9 +98,11 @@ def migrate_main(argv, env):
                                         restart_args, remote_runner,
                                         dump_paths[0])
         if done:
+            yield ("trace_span", "migrate", "E", mig, 1)
             return EX_OK
     yield from _cleanup(dump_paths)
     yield from print_err("migrate: restart on %s failed" % destination)
+    yield ("trace_span", "migrate", "E", mig, 0)
     return EX_FAIL
 
 

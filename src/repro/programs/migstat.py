@@ -1,0 +1,34 @@
+"""The ``migstat`` command: live per-host migration statistics.
+
+In the spirit of ``ps``: where ps snapshots the process table via
+``getproctab``, migstat snapshots the cluster's labelled metrics via
+the ``migstat`` pseudo-call and prints one row per host — dumps
+taken, processes restarted, migrations completed, jobs recovered,
+crashes, and heartbeat suspicions raised by that host's detector.
+The footer reports whether event tracing is currently on (the
+``trace_status`` syscall).
+"""
+
+from repro.errors import iserr, errno_name
+from repro.programs.base import println, print_err
+
+_HEADER = ("HOST        UP  DUMPS  RESTARTS  MIGR  RECOV"
+           "  CRASH  SUSP")
+_ROW = "%-10s  %2s  %5d  %8d  %4d  %5d  %5d  %4d"
+
+
+def migstat_main(argv, env):
+    rows = yield ("migstat",)
+    if iserr(rows):
+        yield from print_err("migstat: %s" % errno_name(-rows))
+        return 1
+    yield from println(_HEADER)
+    for row in rows:
+        yield from println(_ROW % (
+            row["host"], "up" if row["up"] else "dn",
+            row["dumps"], row["restarts"], row["migrations"],
+            row["recoveries"], row["crashes"], row["suspects"]))
+    tracing = yield ("trace_status",)
+    yield from println("tracing: %s" % ("on" if tracing == 1
+                                        else "off"))
+    return 0

@@ -16,6 +16,7 @@ _MAN_BINARIES = {
     "ckptd.8.md": "ckptd",
     "recoveryd.8.md": "recoveryd",
     "sh.1.md": "sh",
+    "migstat.1.md": "migstat",
 }
 
 
@@ -23,7 +24,8 @@ def test_every_man_page_exists():
     mandir = os.path.join(REPO, "docs", "man")
     present = set(os.listdir(mandir))
     for page in list(_MAN_BINARIES) + ["rest_proc.2.md",
-                                       "sigdump.7.md"]:
+                                       "sigdump.7.md",
+                                       "tracefmt.5.md"]:
         assert page in present, page
 
 
@@ -54,6 +56,21 @@ def test_design_md_mentions_every_bench():
     for name in os.listdir(benchdir):
         if name.startswith("bench_fig"):
             assert name in design, name
+
+
+def test_perf_counter_reference_is_generated_and_complete():
+    """docs/perf_counters.md is generated (python -m
+    repro.perf.gendocs) and documents every flat counter."""
+    from repro.perf.counters import (PerfCounters, COUNTER_DOCS,
+                                     counter_reference)
+    path = os.path.join(REPO, "docs", "perf_counters.md")
+    assert open(path).read() == counter_reference(), \
+        "stale %s: rerun python -m repro.perf.gendocs" % path
+    flat = {name for name, value in vars(PerfCounters()).items()
+            if isinstance(value, (int, float))
+            and not isinstance(value, bool)}
+    assert flat == set(COUNTER_DOCS), \
+        "undocumented counters: %s" % (flat ^ set(COUNTER_DOCS))
 
 
 def test_experiments_md_has_every_figure():

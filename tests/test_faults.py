@@ -154,8 +154,18 @@ SCENARIOS = [
 ]
 
 
+#: the low-volume trace categories enabled during chaos runs, so the
+#: cross-engine comparison also covers byte-identical JSONL traces
+#: (the high-volume sched/syscall/net.msg firehose is exercised by
+#: tests/test_obs.py instead — 16 scenarios x 2 engines of it would
+#: dominate the suite's memory for no extra signal)
+TRACE_CATEGORIES = ("fault", "hb", "dump", "restart", "migrate",
+                    "recovery", "net.sock")
+
+
 def _run_scenario(engine, spec, seed):
     site = MigrationSite(costs=CostModel(**FAST_KNOBS), engine=engine)
+    site.cluster.tracer.enable(*TRACE_CATEGORIES)
     site.run_quiet()
     victim = start_counter(site)
     plan = site.cluster.inject_faults(spec, seed=seed)
@@ -204,6 +214,9 @@ def _summarize(site, victim, plan, handle):
         "timeouts": perf.timeouts,
         "clocks_us": tuple(site.machine(n).clock.now_us
                            for n in ("brick", "schooner", "brador")),
+        # byte-identical across engines (the trace determinism
+        # contract: virtual-time stamps, deterministic event order)
+        "trace_jsonl": site.cluster.tracer.to_jsonl(),
     }
 
 
@@ -316,11 +329,13 @@ def _summarize_hosts(site, plan, handle):
         "clocks_us": tuple(site.machine(n).clock.now_us
                            for n in hosts),
         "consoles": tuple(site.console(n) for n in hosts),
+        "trace_jsonl": site.cluster.tracer.to_jsonl(),
     }
 
 
 def _host_scenario(engine, spec, typed_on="schooner"):
     site = MigrationSite(costs=CostModel(**FAST_KNOBS), engine=engine)
+    site.cluster.tracer.enable(*TRACE_CATEGORIES)
     site.run_quiet()
     victim = start_counter(site)
     plan = site.cluster.inject_faults(spec, seed=77)

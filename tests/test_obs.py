@@ -1,0 +1,272 @@
+"""The observability layer: tracer, spans, metrics, exporters.
+
+DESIGN.md section 9.  The cross-engine byte-identity of chaos and
+recovery traces is asserted where those scenarios already run
+(tests/test_faults.py, tests/test_recovery.py); here the layer itself
+is exercised: category filtering, the migration-phase timeline, the
+metrics registry, the guest-visible surface (``trace_status``,
+``migstat``) and the legacy ``Network.trace`` shim.
+"""
+
+import json
+
+import pytest
+
+from repro.core.api import MigrationSite
+from repro.obs import (CATEGORIES, MetricsRegistry, dump_migration_id,
+                       to_chrome, validate_chrome)
+from repro.perf.counters import (PerfCounters, COUNTER_DOCS,
+                                 METRIC_DOCS)
+from tests.conftest import start_counter
+
+PHASES = ["signal", "dump", "rewrite", "transfer", "restart", "ack"]
+
+
+def _migrated_site(engine="fast", categories=()):
+    """A site that has completed one brick->schooner migration."""
+    site = MigrationSite(engine=engine)
+    if categories is not None:
+        site.cluster.tracer.enable(*categories)
+    site.run_quiet()
+    handle = start_counter(site)
+    mig = "brick:%d" % handle.pid
+    mh = site.migrate(handle.pid, "brick", "schooner", uid=100)
+    assert mh.exit_status == 0
+    site.run_quiet()
+    return site, mig
+
+
+# -- the tracer ------------------------------------------------------------
+
+
+def test_tracing_is_off_by_default_and_records_nothing(site):
+    handle = start_counter(site)
+    assert site.cluster.tracer.enabled is False
+    assert site.cluster.tracer.events == []
+    assert handle.pid > 0
+
+
+def test_category_filtering():
+    site = MigrationSite()
+    site.cluster.tracer.enable("sched")
+    site.run_quiet()
+    cats = {e["cat"] for e in site.cluster.tracer.events}
+    assert cats == {"sched"}
+
+
+def test_unknown_category_is_rejected():
+    site = MigrationSite()
+    with pytest.raises(ValueError, match="nonsense"):
+        site.cluster.tracer.enable("sched", "nonsense")
+
+
+def test_kernel_layers_emit_events():
+    site, mig = _migrated_site(categories=())  # () -> all categories
+    events = site.cluster.tracer.events
+    cats = {e["cat"] for e in events}
+    for expected in ("syscall", "signal", "sched", "net.msg",
+                     "net.sock", "dump", "restart", "migrate"):
+        assert expected in cats, expected
+    # SIGDUMP delivery to the victim is on the record
+    assert any(e["cat"] == "signal" and e["name"] == "SIGDUMP"
+               for e in events)
+    # timestamps are virtual microseconds, monotone per host
+    by_host = {}
+    for e in events:
+        assert e["ts"] >= by_host.get(e["host"], 0.0)
+        by_host[e["host"]] = e["ts"]
+
+
+def test_migration_timeline_phases_sum_to_end_to_end():
+    site, mig = _migrated_site(
+        categories=("dump", "restart", "migrate"))
+    timeline = site.cluster.tracer.migration_timeline(mig)
+    assert timeline is not None
+    assert [p["phase"] for p in timeline["phases"]] == PHASES
+    assert all(p["duration_us"] >= 0 for p in timeline["phases"])
+    total = sum(p["duration_us"] for p in timeline["phases"])
+    assert abs(total - timeline["end_to_end_us"]) < 1e-6
+
+
+def test_trace_jsonl_byte_identical_across_engines():
+    """One migration, every category on: both engines produce the
+    same bytes (the scan scheduling order is the fast engine's
+    contract, so the global event order must match too)."""
+    traces = {}
+    for engine in ("scan", "fast"):
+        site, __ = _migrated_site(engine=engine, categories=())
+        traces[engine] = site.cluster.tracer.to_jsonl()
+    assert traces["scan"] == traces["fast"]
+    assert traces["fast"]  # non-empty
+    for line in traces["fast"].splitlines():
+        json.loads(line)  # every line is one JSON event
+
+
+def test_span_histograms_recorded_even_with_tracing_off():
+    site, __ = _migrated_site(categories=None)  # tracing fully off
+    assert site.cluster.tracer.events == []
+    metrics = site.cluster.perf.metrics
+    assert metrics.sample_count("span_us", phase="dump") >= 1
+    assert metrics.sample_count("span_us", phase="rest_proc") >= 1
+    assert metrics.total("dumps", host="brick") == 1
+    assert metrics.total("restarts", host="schooner") == 1
+    assert metrics.total("migrations") == 1
+
+
+def test_chrome_export_validates_and_nests():
+    site, mig = _migrated_site(
+        categories=("dump", "restart", "migrate"))
+    doc = site.cluster.tracer.to_chrome()
+    count = validate_chrome(doc)
+    assert count > len(site.cluster.tracer.events)  # + metadata rows
+    phs = {e["ph"] for e in doc["traceEvents"]}
+    assert {"M", "b", "e", "i"} <= phs
+    spans = [e for e in doc["traceEvents"] if e["ph"] in "be"]
+    assert all(e["id"] == mig for e in spans)
+
+
+def test_validate_chrome_rejects_dangling_spans():
+    doc = to_chrome([{"ts": 1.0, "cat": "dump", "name": "dump",
+                      "host": "brick", "mig": "brick:3",
+                      "span": "B"}])
+    with pytest.raises(ValueError, match="unclosed"):
+        validate_chrome(doc)
+
+
+def test_dump_migration_id():
+    assert dump_migration_id("/usr/tmp/a.out42", "brick") == "brick:42"
+    assert dump_migration_id("/n/brick/usr/tmp/a.out42",
+                             "schooner") == "brick:42"
+    assert dump_migration_id("/usr/tmp/garbage", "x") == "x:-1"
+
+
+# -- the guest-visible surface ---------------------------------------------
+
+
+def test_trace_status_syscall_and_migstat_command(site):
+    handle = start_counter(site)
+    mh = site.migrate(handle.pid, "brick", "schooner", uid=100)
+    assert mh.exit_status == 0
+    site.run_quiet()
+    assert site.run_command("brick", ["migstat"], uid=100) == 0
+    console = site.console("brick")
+    assert "HOST" in console and "tracing: off" in console
+    # one dump on brick, one restart on schooner, one migration
+    lines = [l for l in console.splitlines() if l.startswith("brick")]
+    assert lines and lines[-1].split()[1:4] == ["up", "1", "0"]
+    lines = [l for l in console.splitlines()
+             if l.startswith("schooner")]
+    assert lines and lines[-1].split()[1:5] == ["up", "0", "1", "1"]
+
+    site.cluster.tracer.enable("migrate")
+    assert site.run_command("schooner", ["migstat"], uid=100) == 0
+    assert "tracing: on" in site.console("schooner")
+
+
+# -- the legacy Network.trace shim -----------------------------------------
+
+
+def test_legacy_network_trace_list_still_works():
+    site = MigrationSite()
+    legacy = []
+    site.cluster.network.trace = legacy  # the pre-Tracer API
+    site.cluster.tracer.enable("net.msg", "net.sock")
+    site.run_quiet()
+    handle = start_counter(site)
+    mh = site.migrate(handle.pid, "brick", "schooner", uid=100)
+    assert mh.exit_status == 0  # rsh traffic crossed the network
+    site.run_quiet()
+    assert site.cluster.network.trace is legacy
+    msgs = [t for t in legacy if t[0] == "msg"]
+    socks = [t for t in legacy if t[0] == "sock"]
+    assert msgs and socks
+    # the tracer saw the same moments
+    events = site.cluster.tracer.events
+    assert len([e for e in events if e["cat"] == "net.msg"]) \
+        == len(msgs)
+    assert len([e for e in events if e["cat"] == "net.sock"]) \
+        == len(socks)
+    # and the tuples carry the historical shape
+    assert all(len(t) == 5 for t in msgs)
+    assert all(len(t) == 3 for t in socks)
+
+
+# -- the metrics registry --------------------------------------------------
+
+
+def test_metrics_registry_counters_and_labels():
+    metrics = MetricsRegistry()
+    metrics.inc("dumps", host="brick")
+    metrics.inc("dumps", 2, host="schooner")
+    metrics.inc("dumps", host="brick")
+    assert metrics.total("dumps") == 4
+    assert metrics.total("dumps", host="brick") == 2
+    assert metrics.total("other") == 0
+    snap = metrics.snapshot()
+    assert snap["counters"] == {"dumps{host=brick}": 2,
+                                "dumps{host=schooner}": 2}
+
+
+def test_metrics_registry_histograms():
+    metrics = MetricsRegistry()
+    for value in (0, 1, 3, 1000):
+        metrics.observe("span_us", value, phase="dump")
+    snap = metrics.snapshot()["histograms"]["span_us{phase=dump}"]
+    assert snap["count"] == 4
+    assert snap["sum"] == 1004
+    assert snap["buckets"] == {"0": 1, "1": 1, "2": 1, "10": 1}
+    assert metrics.sample_count("span_us") == 4
+
+
+def test_metrics_registry_rejects_bools_and_junk():
+    metrics = MetricsRegistry()
+    with pytest.raises(TypeError):
+        metrics.inc("x", True)
+    with pytest.raises(TypeError):
+        metrics.observe("x", "fast")
+
+
+# -- PerfCounters hardening + docs contract --------------------------------
+
+
+def test_perf_note_rejects_bool_attributes_and_bumps():
+    perf = PerfCounters()
+    perf.note("retries")
+    assert perf.retries == 1
+    with pytest.raises(TypeError):
+        perf.note("retries", True)
+    with pytest.raises(TypeError):
+        perf.note("retries", "lots")
+    # a bool-typed attribute is not a counter, even though
+    # isinstance(True, int) holds
+    perf.flag = True
+    with pytest.raises(ValueError):
+        perf.note("flag")
+    with pytest.raises(ValueError):
+        perf.note("no_such_counter")
+
+
+def test_snapshot_keeps_flat_keys_and_adds_metrics():
+    perf = PerfCounters()
+    perf.metrics.inc("dumps", host="brick")
+    snap = perf.snapshot(elapsed_s=2.0)
+    assert snap["steps"] == 0  # the historical flat keys survive
+    assert "burst_histogram" in snap
+    assert snap["steps_per_sec"] == 0.0
+    assert snap["metrics"]["counters"] == {"dumps{host=brick}": 1}
+    json.dumps(snap)  # BENCH_perf.json compatibility
+
+
+def test_every_flat_counter_is_documented():
+    perf = PerfCounters()
+    flat = {name for name, value in vars(perf).items()
+            if isinstance(value, (int, float))
+            and not isinstance(value, bool)}
+    assert flat == set(COUNTER_DOCS)
+    assert METRIC_DOCS  # and the labelled metrics have docs too
+
+
+def test_all_emission_categories_are_known():
+    assert CATEGORIES == {"syscall", "signal", "sched", "net.msg",
+                          "net.sock", "fault", "hb", "dump",
+                          "restart", "migrate", "recovery"}

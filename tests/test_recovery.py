@@ -38,6 +38,11 @@ def _run_demo(engine):
     """The scripted demo: checkpoint on brick, crash, recover on
     schooner.  Returns an engine-comparable summary."""
     site = MigrationSite(costs=CostModel(**FAST_KNOBS), engine=engine)
+    # low-volume categories only (see tests/test_faults.py); the
+    # JSONL render lands in the cross-engine summary below, making
+    # this demo the trace-determinism anchor for the recovery path
+    site.cluster.tracer.enable("fault", "hb", "dump", "restart",
+                               "migrate", "recovery", "net.sock")
     site.run_quiet()
     site.machine("brador").fs.makedirs("/tmp/ckpt", mode=0o777)
 
@@ -100,6 +105,7 @@ def _run_demo(engine):
         "recoveries": perf.recoveries,
         "suspects": perf.hb_suspects,
         "latency_us": recovered_us - start_us,
+        "trace_jsonl": site.cluster.tracer.to_jsonl(),
     }
 
 
