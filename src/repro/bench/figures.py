@@ -115,6 +115,9 @@ def _kill_via_signal(sig, costs=None):
 
 
 def _kill_via_dumpproc(costs=None, poll_sleep=None):
+    if poll_sleep is not None:
+        costs = (costs or CostModel()).with_overrides(
+            dump_poll_sleep_s=poll_sleep)
     site, handle = _counter_site(costs)
     machine = site.machine("brick")
     real0 = machine.clock.now_us
@@ -319,18 +322,16 @@ def ablation_daemon_vs_rsh(costs=None):
 
 
 def ablation_polling_interval(costs=None, intervals=(0.1, 0.5, 1, 2)):
-    """A2: dumpproc's poll sleep drives its real-vs-CPU gap."""
-    import repro.programs.dumpproc as dumpproc_module
+    """A2: dumpproc's poll sleep drives its real-vs-CPU gap.
+
+    The interval is swept through the ``dump_poll_sleep_s`` cost-model
+    knob dumpproc reads at run time — no module monkey-patching.
+    """
     rows = []
-    original = dumpproc_module.POLL_SLEEP_SECONDS
-    try:
-        for interval in intervals:
-            dumpproc_module.POLL_SLEEP_SECONDS = interval
-            real, cpu = _kill_via_dumpproc(costs)
-            rows.append({"sleep_s": interval, "real_us": real,
-                         "cpu_us": cpu, "gap": real / cpu})
-    finally:
-        dumpproc_module.POLL_SLEEP_SECONDS = original
+    for interval in intervals:
+        real, cpu = _kill_via_dumpproc(costs, poll_sleep=interval)
+        rows.append({"sleep_s": interval, "real_us": real,
+                     "cpu_us": cpu, "gap": real / cpu})
     return {"figure": "A2", "title": "dumpproc real time vs poll "
                                      "sleep interval", "rows": rows}
 

@@ -27,10 +27,14 @@ user-level ``dumpproc`` (section 4.3 of the paper).
 
 import struct
 
-from repro.errors import UnixError, EINVAL
-from repro.kernel.constants import NOFILE, FILES_MAGIC, STACK_MAGIC, DUMPDIR
+from repro.errors import UnixError, EINVAL, ENOEXEC
+from repro.kernel.constants import (NOFILE, FILES_MAGIC, STACK_MAGIC,
+                                    STACK_CHUNK_MAGIC, CHUNK_MAGIC,
+                                    DUMPDIR)
 from repro.kernel.cred import Credentials, PACKED_SIZE as CRED_SIZE
 from repro.kernel.signals import SigState
+from repro.store import DIGEST_BYTES
+from repro.vm.aout import AOutHeader, HEADER_SIZE, AOUT_FLAG_CHUNKED
 from repro.vm.image import Registers
 
 FD_UNUSED = 0
@@ -100,6 +104,123 @@ class _Reader:
 
     def string(self):
         return self.raw(self.u16()).decode("latin-1")
+
+
+class ChunkManifest:
+    """A digest list standing in for a blob in an incremental dump.
+
+    Layout: magic (u16), chunk size (u32), blob length (u32), chunk
+    count (u16), then ``count`` raw digests.  The count is fully
+    determined by length and chunk size — it is stored anyway and
+    cross-checked on unpack, so a truncated or doctored manifest is
+    rejected before any chunk is fetched.
+    """
+
+    #: magic + chunk_bytes + length + count
+    HEADER_SIZE = 2 + 4 + 4 + 2
+
+    def __init__(self, chunk_bytes, length, digests):
+        self.chunk_bytes = int(chunk_bytes)
+        self.length = int(length)
+        self.digests = tuple(digests)
+        if self.chunk_bytes <= 0:
+            raise UnixError(EINVAL, "bad manifest chunk size %d"
+                            % self.chunk_bytes)
+        if self.length < 0:
+            raise UnixError(EINVAL, "bad manifest length %d" % self.length)
+        expected = -(-self.length // self.chunk_bytes)
+        if len(self.digests) != expected:
+            raise UnixError(EINVAL, "manifest wants %d chunks, has %d"
+                            % (expected, len(self.digests)))
+        if any(len(d) != DIGEST_BYTES for d in self.digests):
+            raise UnixError(EINVAL, "bad manifest digest width")
+
+    def chunk_size(self, index):
+        """Size of chunk ``index`` (the last one may be short)."""
+        return min(self.chunk_bytes, self.length - index * self.chunk_bytes)
+
+    def packed_size(self):
+        return self.HEADER_SIZE + DIGEST_BYTES * len(self.digests)
+
+    def pack_into(self, writer):
+        writer.u16(CHUNK_MAGIC)
+        writer.u32(self.chunk_bytes)
+        writer.u32(self.length)
+        writer.u16(len(self.digests))
+        for digest in self.digests:
+            writer.raw(digest)
+
+    def pack(self):
+        writer = _Writer()
+        self.pack_into(writer)
+        return writer.getvalue()
+
+    @classmethod
+    def unpack_from(cls, reader):
+        magic = reader.u16()
+        if magic != CHUNK_MAGIC:
+            raise UnixError(EINVAL, "bad chunk manifest magic 0o%o"
+                            % magic)
+        chunk_bytes = reader.u32()
+        length = reader.u32()
+        count = reader.u16()
+        if chunk_bytes <= 0:
+            raise UnixError(EINVAL, "bad manifest chunk size %d"
+                            % chunk_bytes)
+        if count != -(-length // chunk_bytes):
+            raise UnixError(EINVAL,
+                            "manifest count %d does not match length %d"
+                            % (count, length))
+        digests = [reader.raw(DIGEST_BYTES) for __ in range(count)]
+        return cls(chunk_bytes, length, digests)
+
+    @classmethod
+    def unpack(cls, blob):
+        return cls.unpack_from(_Reader(blob, "chunk manifest"))
+
+    def __eq__(self, other):
+        if not isinstance(other, ChunkManifest):
+            return NotImplemented
+        return (self.chunk_bytes, self.length, self.digests) == \
+            (other.chunk_bytes, other.length, other.digests)
+
+    def __repr__(self):
+        return ("ChunkManifest(chunk_bytes=%d length=%d chunks=%d)"
+                % (self.chunk_bytes, self.length, len(self.digests)))
+
+
+def pack_chunked_aout(header, text_manifest, data_manifest):
+    """An ``a.outXXXXX`` that references its segments by digest.
+
+    The header keeps the *real* segment sizes (so restart can size
+    memory before fetching anything) and gains ``AOUT_FLAG_CHUNKED``.
+    """
+    header.flags |= AOUT_FLAG_CHUNKED
+    writer = _Writer()
+    writer.raw(header.pack())
+    text_manifest.pack_into(writer)
+    data_manifest.pack_into(writer)
+    return writer.getvalue()
+
+
+def unpack_chunked_aout(blob):
+    """Parse a chunked a.out into (header, text, data) manifests."""
+    header = AOutHeader.unpack(blob)
+    if not header.flags & AOUT_FLAG_CHUNKED:
+        raise UnixError(ENOEXEC, "a.out is not chunked")
+    reader = _Reader(blob, "a.out")
+    reader._take(HEADER_SIZE)
+    text_manifest = ChunkManifest.unpack_from(reader)
+    data_manifest = ChunkManifest.unpack_from(reader)
+    if text_manifest.length != header.text_size \
+            or data_manifest.length != header.data_size:
+        raise UnixError(ENOEXEC, "chunked a.out manifest/header mismatch")
+    return header, text_manifest, data_manifest
+
+
+def stack_is_chunked(blob):
+    """Sniff a stackXXXXX prefix for the chunked-variant magic."""
+    return len(blob) >= 2 and _U16.unpack_from(blob)[0] == STACK_CHUNK_MAGIC
 
 
 class FdEntry:
@@ -218,22 +339,39 @@ class StackInfo:
     """
 
     def __init__(self, cred=None, stack=b"", registers=None,
-                 sigstate=None):
+                 sigstate=None, stack_manifest=None):
         self.cred = cred or Credentials()
         self.stack = bytes(stack)
+        #: chunked variant (magic 0443): the stack bytes live in the
+        #: chunk store and this manifest references them; ``stack``
+        #: stays empty
+        self.stack_manifest = stack_manifest
+        if stack_manifest is not None and self.stack:
+            raise UnixError(EINVAL, "stack info cannot carry both "
+                            "inline bytes and a manifest")
         self.registers = registers or Registers()
         self.sigstate = sigstate or SigState()
 
     @property
     def stack_size(self):
+        if self.stack_manifest is not None:
+            return self.stack_manifest.length
         return len(self.stack)
 
     def pack(self):
         writer = _Writer()
-        writer.u16(STACK_MAGIC)
-        writer.raw(self.cred.pack())
-        writer.u32(len(self.stack))
-        writer.raw(self.stack)
+        if self.stack_manifest is not None:
+            # same prefix layout as the classic variant (magic, cred,
+            # u32 stack size) so peek_header() serves both
+            writer.u16(STACK_CHUNK_MAGIC)
+            writer.raw(self.cred.pack())
+            writer.u32(self.stack_manifest.length)
+            self.stack_manifest.pack_into(writer)
+        else:
+            writer.u16(STACK_MAGIC)
+            writer.raw(self.cred.pack())
+            writer.u32(len(self.stack))
+            writer.raw(self.stack)
         writer.raw(self.registers.pack())
         writer.raw(self.sigstate.pack())
         return writer.getvalue()
@@ -242,16 +380,25 @@ class StackInfo:
     def unpack(cls, blob):
         reader = _Reader(blob, "stack")
         magic = reader.u16()
-        if magic != STACK_MAGIC:
+        if magic not in (STACK_MAGIC, STACK_CHUNK_MAGIC):
             raise UnixError(EINVAL,
                             "bad stack magic 0o%o (want 0o%o)"
                             % (magic, STACK_MAGIC))
         cred = Credentials.unpack(reader.raw(CRED_SIZE))
         stack_size = reader.u32()
-        stack = reader.raw(stack_size)
+        stack = b""
+        manifest = None
+        if magic == STACK_CHUNK_MAGIC:
+            manifest = ChunkManifest.unpack_from(reader)
+            if manifest.length != stack_size:
+                raise UnixError(EINVAL, "stack manifest length %d != %d"
+                                % (manifest.length, stack_size))
+        else:
+            stack = reader.raw(stack_size)
         registers = Registers.unpack(reader.raw(Registers.FORMAT.size))
         sigstate = SigState.unpack(reader.raw(SigState.PACKED_SIZE))
-        return cls(cred, stack, registers, sigstate)
+        return cls(cred, stack, registers, sigstate,
+                   stack_manifest=manifest)
 
     @classmethod
     def peek_header(cls, blob):
@@ -260,11 +407,13 @@ class StackInfo:
         This is what ``rest_proc()`` does first: "opens the stackXXXXX
         file, checking access permissions and verifying its format by
         checking the magic number ... reads the user credentials and
-        the size of the stack".
+        the size of the stack".  Both the classic and the chunked
+        variant share this prefix, and the size is always the *real*
+        stack size, not the manifest size.
         """
         reader = _Reader(blob, "stack")
         magic = reader.u16()
-        if magic != STACK_MAGIC:
+        if magic not in (STACK_MAGIC, STACK_CHUNK_MAGIC):
             raise UnixError(EINVAL, "bad stack magic 0o%o" % magic)
         cred = Credentials.unpack(reader.raw(CRED_SIZE))
         stack_size = reader.u32()

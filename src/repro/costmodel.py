@@ -91,6 +91,13 @@ class CostModel:
     #: daemon-with-a-well-known-port alternative: one connection to an
     #: already-running server (section 6.4, ablation A1).
 
+    # --- incremental dumps / chunk store (DESIGN.md section 10) --------
+    dump_chunk_bytes: int = 1024  #: chunk granularity of incremental
+    #: dumps; rounded down to a whole number of dirty-tracking pages
+    digest_byte_us: float = 0.006  #: content digest of one chunk byte:
+    #: a cheap rolling checksum, a little slower than a plain copy
+    #: (read + multiply-accumulate per byte on a 0.5 MIPS machine)
+
     # --- migration retry / timeout policy (not costs) ------------------
     #: knobs read by the hardened user commands via ``sysctl``; they
     #: shape retry behaviour, not virtual-time charging.
@@ -101,6 +108,10 @@ class CostModel:
     net_read_timeout_s: float = 30.0  #: reply-read timeout (daemon run)
     restart_poll_tries: int = 60  #: migrate polls for the restart ack
     restart_poll_sleep_s: float = 0.5  #: sleep between ack polls
+    dump_poll_tries: int = 10  #: dumpproc polls for the a.out file
+    dump_poll_sleep_s: float = 1  #: sleep between dump polls (the
+    #: integer default keeps virtual timestamps in the calibrated
+    #: figures int-valued, exactly as the old hard-coded constant did)
 
     # --- host failure model (DESIGN.md section 8) -----------------------
     boot_s: float = 5.0  #: virtual seconds a reboot_host() takes
@@ -143,6 +154,15 @@ class CostModel:
     #: twenty open() calls pay.
     namei_cache: bool = False
     namei_cache_hit_us: float = 45.0  #: one cached path resolution
+    #: incremental content-addressed dumps (DESIGN.md section 10): the
+    #: a.out and stack dump files become chunk manifests and the chunk
+    #: payloads go to the cluster-shared store, deduplicated by digest.
+    incremental_dumps: bool = False
+    #: lazy copy-on-reference restart: text and registers restore
+    #: eagerly, data/stack chunks fault in on first touch, charged at
+    #: access time instead of inside the freeze window.  Only takes
+    #: effect for chunked (incremental) dumps.
+    lazy_restart: bool = False
 
     def disk_io_us(self, nbytes, write=False):
         """Local-disk cost of transferring ``nbytes`` (>=1 block)."""

@@ -62,3 +62,8 @@ DUMPDIR = "/usr/tmp"
 #: magic numbers of the dump files ("arbitrarily set" in the paper)
 FILES_MAGIC = 0o445
 STACK_MAGIC = 0o444
+#: incremental-dump variants (DESIGN.md section 10): the stack file
+#: carries a chunk manifest instead of the raw stack bytes, and chunk
+#: manifests themselves open with their own magic
+STACK_CHUNK_MAGIC = 0o443
+CHUNK_MAGIC = 0o446

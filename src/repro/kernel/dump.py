@@ -12,11 +12,25 @@ which is why ``dumpproc`` must wait (sleeping a second at a time) for
 its context to that of the process being dumped".
 """
 
-from repro.errors import UnixError
+from repro.errors import UnixError, EIO
 from repro.fs.paths import joinpath
 from repro.kernel.constants import DUMPDIR, NOFILE
 from repro.kernel.filetable import FPIPE, FSOCKET
 from repro.vm.aout import build_aout
+from repro.vm.image import PAGE_BYTES, PAGE_SHIFT
+
+
+def _baseline_entry(base, manifest):
+    """The ``chunk_baseline`` record a manifest leaves on an image."""
+    return {"base": base, "length": manifest.length,
+            "chunk_bytes": manifest.chunk_bytes,
+            "digests": manifest.digests}
+
+
+def lazy_records(manifest, base):
+    """``(start, size, digest)`` triples for copy-on-reference fill."""
+    return [(base + i * manifest.chunk_bytes, manifest.chunk_size(i),
+             digest) for i, digest in enumerate(manifest.digests)]
 
 
 class DumpSupport:
@@ -42,11 +56,22 @@ class DumpSupport:
         self.tracer.span_begin("dump", "dump", mig, self.machine,
                                pid=proc.pid)
 
+        incremental = self.costs.incremental_dumps
+        text_man = data_man = stack_man = None
         written = []
         try:
-            aout_blob = self._build_aout_dump(image)
+            if incremental:
+                aout_blob, text_man, data_man = \
+                    self._build_chunked_aout(proc, image)
+            else:
+                aout_blob = self._build_aout_dump(image)
             files_blob = self._build_files_info(proc).pack()
-            stack_blob = self._build_stack_info(proc).pack()
+            if incremental:
+                stack_info, stack_man = \
+                    self._build_chunked_stack_info(proc)
+                stack_blob = stack_info.pack()
+            else:
+                stack_blob = self._build_stack_info(proc).pack()
             # formatting kernel structures into each file costs CPU
             self.charge(3 * self.costs.dump_pack_us, proc=proc)
             inodes = {}
@@ -70,6 +95,15 @@ class DumpSupport:
             self.tracer.span_end("dump", "dump", mig, self.machine,
                                  ok=False, pid=proc.pid)
             return False
+        if incremental:
+            # the dump is the image's new baseline: a further re-dump
+            # only pays for pages dirtied from here on
+            image.chunk_baseline = {
+                "text": _baseline_entry(image.text_base, text_man),
+                "data": _baseline_entry(image.data_base, data_man),
+                "stack": _baseline_entry(image.regs.sp, stack_man),
+            }
+            image.clear_dirty()
         proc.dumped = True
         self.machine.cluster.perf.metrics.inc("dumps",
                                               host=self.hostname)
@@ -87,13 +121,39 @@ class DumpSupport:
         shipping a dump nobody can restart.  The blocks just written
         are still in the buffer cache, so the inspection is pure
         in-memory work — it charges nothing, keeping the calibrated
-        SIGDUMP timings (Figure 2) untouched.
+        SIGDUMP timings (Figure 2) untouched.  Parsing goes through
+        ``memoryview``s of the inode data: the check never duplicates
+        the (potentially segment-sized) file contents, it only copies
+        the small typed fields it actually inspects.
         """
-        from repro.core.formats import FilesInfo, StackInfo
-        from repro.vm.aout import parse_aout
-        parse_aout(bytes(aout_inode.data))
-        FilesInfo.unpack(bytes(files_inode.data))
-        StackInfo.unpack(bytes(stack_inode.data))
+        from repro.core.formats import (FilesInfo, StackInfo,
+                                        unpack_chunked_aout)
+        from repro.vm.aout import (AOutHeader, AOUT_FLAG_CHUNKED,
+                                   HEADER_SIZE)
+        from repro.errors import ENOEXEC
+        views = [memoryview(aout_inode.data),
+                 memoryview(files_inode.data),
+                 memoryview(stack_inode.data)]
+        try:
+            aout_view, files_view, stack_view = views
+            header = AOutHeader.unpack(aout_view)
+            if header.flags & AOUT_FLAG_CHUNKED:
+                # validates both manifests against the header sizes
+                unpack_chunked_aout(aout_view)
+            else:
+                need = (HEADER_SIZE + header.text_size
+                        + header.data_size)
+                if len(aout_view) < need:
+                    raise UnixError(ENOEXEC, "truncated a.out: %d < %d"
+                                    % (len(aout_view), need))
+            FilesInfo.unpack(files_view)
+            StackInfo.unpack(stack_view)
+        finally:
+            # exported views of a bytearray block later resizes (e.g.
+            # a truncating rewrite of the same dump file) — drop them
+            # deterministically, not when the GC gets around to it
+            for view in views:
+                view.release()
 
     def _kunlink_quiet(self, proc, path):
         """Best-effort unlink during failure cleanup."""
@@ -161,6 +221,109 @@ class DumpSupport:
         return StackInfo(cred=proc.user.cred.copy(), stack=stack,
                          registers=image.regs.copy(),
                          sigstate=proc.user.sig.copy())
+
+    # -- incremental (content-addressed) dumps ---------------------------
+
+    def _chunk_region(self, proc, image, region, base, length):
+        """Chunk one memory region into the store; returns a manifest.
+
+        When the image carries a matching baseline (it was restored
+        from a chunked dump, or dumped once already), chunks whose
+        pages are all clean reuse the baseline digest without being
+        read, copied, digested or stored — that skip is the entire
+        saving of an incremental re-dump.  It also never materialises
+        chunks still pending copy-on-reference fill: an untouched
+        lazy chunk is clean by definition and its digest is already
+        in the manifest the restore came from.
+        """
+        from repro.core.formats import ChunkManifest
+        store = self.machine.cluster.chunk_store
+        costs = self.costs
+        chunk_bytes = max(PAGE_BYTES,
+                          (int(costs.dump_chunk_bytes) // PAGE_BYTES)
+                          * PAGE_BYTES)
+        perf = self.machine.cluster.perf
+        baseline = (image.chunk_baseline or {}).get(region)
+        reuse = (baseline is not None
+                 and baseline["base"] == base
+                 and baseline["length"] == length
+                 and baseline["chunk_bytes"] == chunk_bytes)
+        dirty = image.dirty_pages
+        digests = []
+        for index in range(-(-length // chunk_bytes)):
+            start = index * chunk_bytes
+            size = min(chunk_bytes, length - start)
+            if reuse:
+                first = (base + start) >> PAGE_SHIFT
+                last = (base + start + size - 1) >> PAGE_SHIFT
+                if not any(dirty[first:last + 1]):
+                    digests.append(baseline["digests"][index])
+                    perf.chunks_clean_skipped += 1
+                    continue
+            chunk = image.read_bytes(base + start, size)
+            self.charge(costs.copy_byte_us * size, proc=proc)
+            digest = store.digest(self, chunk)
+            store.put(self, digest, chunk)
+            digests.append(digest)
+        return ChunkManifest(chunk_bytes, length, digests)
+
+    def _build_chunked_aout(self, proc, image):
+        """The manifest-bearing a.outXXXXX of an incremental dump."""
+        from repro.core.formats import pack_chunked_aout
+        from repro.vm.aout import AOutHeader
+        text_man = self._chunk_region(proc, image, "text",
+                                      image.text_base, image.text_size)
+        data_len = max(image.data_size + image.bss_size,
+                       image.brk - image.data_base)
+        data_man = self._chunk_region(proc, image, "data",
+                                      image.data_base, data_len)
+        header = AOutHeader(image.machine_id, text_man.length,
+                            data_man.length, 0, image.entry)
+        return pack_chunked_aout(header, text_man, data_man), \
+            text_man, data_man
+
+    def _build_chunked_stack_info(self, proc):
+        from repro.core.formats import StackInfo
+        image = proc.image.image
+        stack_man = self._chunk_region(proc, image, "stack",
+                                       image.regs.sp, image.stack_size)
+        info = StackInfo(cred=proc.user.cred.copy(),
+                         stack_manifest=stack_man,
+                         registers=image.regs.copy(),
+                         sigstate=proc.user.sig.copy())
+        return info, stack_man
+
+    # -- restore-side chunk plumbing (exec and rest_proc) ----------------
+
+    def fetch_manifest(self, manifest):
+        """Fetch and assemble a manifest's chunks (eager restore)."""
+        parts = []
+        store = self.machine.cluster.chunk_store
+        for index, digest in enumerate(manifest.digests):
+            blob = store.get(self, digest)
+            if len(blob) != manifest.chunk_size(index):
+                raise UnixError(EIO, "chunk size does not match "
+                                "its manifest")
+            parts.append(blob)
+        return b"".join(parts)
+
+    def chunk_lazy_fetch(self, digest, size):
+        """Copy-on-reference fetch of one chunk at first touch.
+
+        Installed as the image's lazy-fetch hook; charges the I/O to
+        whoever is touching the memory, which by construction is the
+        restored process itself (its own stores, loads and syscall
+        copyin/copyout are the only paths into its image).
+        """
+        perf = self.machine.cluster.perf
+        perf.lazy_faults += 1
+        blob = self.machine.cluster.chunk_store.get(self, digest)
+        if len(blob) != size:
+            raise UnixError(EIO, "chunk size does not match its manifest")
+        if self.tracer.enabled:
+            self.tracer.emit("chunk", "fault", self.machine,
+                             digest=digest.hex(), bytes=size)
+        return blob
 
     # -- SIGQUIT-style core dumps (the baseline of Figure 2) --------------------
 

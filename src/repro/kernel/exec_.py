@@ -24,7 +24,7 @@ from repro.errors import UnixError, EACCES, ENOEXEC, ENOMEM, E2BIG
 from repro.fs.paths import basename
 from repro.kernel.flow import ProcessOverlaid
 from repro.kernel.proc import NativeState, VMImageState
-from repro.vm.aout import parse_aout
+from repro.vm.aout import parse_aout, AOutHeader, AOUT_FLAG_CHUNKED
 from repro.vm.image import ProcessImage, DEFAULT_MEM_SIZE
 
 NATIVE_MAGIC = b"#!native "
@@ -90,6 +90,9 @@ class ExecSupport:
     # -- a.out programs ------------------------------------------------------
 
     def _exec_aout(self, proc, path, data, argv, envp):
+        if AOutHeader.unpack(data).flags & AOUT_FLAG_CHUNKED:
+            # an incremental dump: segments live in the chunk store
+            return self._exec_chunked_aout(proc, path, data, argv, envp)
         header, text, segment = parse_aout(data)
         image = ProcessImage(DEFAULT_MEM_SIZE)
         total = (image.text_base + header.text_size + header.data_size
@@ -109,6 +112,57 @@ class ExecSupport:
             self.charge(self.costs.zero_byte_us * header.bss_size)
         image.brk = image.data_base + header.data_size + header.bss_size
 
+        self._finish_exec_image(proc, path, image, header, argv, envp)
+
+    def _exec_chunked_aout(self, proc, path, data, argv, envp):
+        """Load an incremental (manifest-bearing) a.outXXXXX.
+
+        Text restores eagerly — the process resumes executing it
+        immediately, and sharing it through the store is what dedupes
+        migrations of processes running the same binary.  The data
+        segment restores eagerly too unless ``lazy_restart`` is on,
+        in which case its chunks stay pending and fault in on first
+        touch, charged at access time instead of here.
+        """
+        from repro.core.formats import unpack_chunked_aout
+        from repro.kernel.dump import _baseline_entry, lazy_records
+        header, text_man, data_man = unpack_chunked_aout(data)
+        image = ProcessImage(DEFAULT_MEM_SIZE)
+        total = (image.text_base + header.text_size + header.data_size
+                 + header.bss_size)
+        if total + ARG_MAX >= image.mem_size:
+            raise UnixError(ENOMEM, "program too large")
+
+        image.text_size = header.text_size
+        image.data_size = header.data_size
+        image.bss_size = header.bss_size
+        image.machine_id = header.machine_id
+        image.entry = header.entry
+        text = self.fetch_manifest(text_man)
+        image.write_bytes(image.text_base, text)
+        self.charge(self.costs.copy_byte_us * len(text))
+        if self.costs.lazy_restart:
+            image.add_lazy_chunks(
+                lazy_records(data_man, image.data_base),
+                fetch=self.chunk_lazy_fetch)
+        else:
+            segment = self.fetch_manifest(data_man)
+            image.write_bytes(image.data_base, segment)
+            self.charge(self.costs.copy_byte_us * len(segment))
+        if header.bss_size:
+            self.charge(self.costs.zero_byte_us * header.bss_size)
+        image.brk = image.data_base + header.data_size + header.bss_size
+        # the manifests double as the image's re-dump baseline; every
+        # page is clean until the process runs (rest_proc re-clears
+        # after it fills the stack in)
+        image.chunk_baseline = {
+            "text": _baseline_entry(image.text_base, text_man),
+            "data": _baseline_entry(image.data_base, data_man),
+        }
+        self._finish_exec_image(proc, path, image, header, argv, envp)
+        image.clear_dirty()
+
+    def _finish_exec_image(self, proc, path, image, header, argv, envp):
         if self.migrating:
             # the modification: allocate exactly the dumped stack size;
             # rest_proc() fills the contents in afterwards

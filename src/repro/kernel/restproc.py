@@ -109,12 +109,24 @@ class RestProcSupport:
         proc.user.cred = info.cred.copy()
 
         # step 7: stack contents and registers
-        image.restore_stack(info.stack)
-        self.charge(self.costs.copy_byte_us * info.stack_size)
+        if info.stack_manifest is not None:
+            self._restore_chunked_stack(proc, image, info.stack_manifest,
+                                        aout_path)
+        else:
+            image.restore_stack(info.stack)
+            self.charge(self.costs.copy_byte_us * info.stack_size)
         image.regs.load_from(info.registers)
         # the overlay replaced text and stack wholesale; any decode
         # cache predating the overlay must not be resumed into
         image.invalidate_decode_cache()
+        if info.stack_manifest is not None and image.chunk_baseline is not None:
+            # the stack manifest completes the re-dump baseline the
+            # chunked exec started; every page is clean until the
+            # process runs again
+            from repro.kernel.dump import _baseline_entry
+            image.chunk_baseline["stack"] = _baseline_entry(
+                image.regs.sp, info.stack_manifest)
+            image.clear_dirty()
 
         # step 8: signal dispositions
         sigstate = info.sigstate.copy()
@@ -132,6 +144,35 @@ class RestProcSupport:
         self._consume_dump_files(proc, aout_path, stack_path)
         # step 9: "the process running is a copy of the old process"
         raise ProcessOverlaid()
+
+    def _restore_chunked_stack(self, proc, image, manifest, aout_path):
+        """Fill the restored stack from the chunk store.
+
+        Eagerly unless ``lazy_restart`` is on, in which case the
+        chunks stay pending and fault in on first touch — the
+        ``fault_in`` span measures how long the deferred transfer
+        trails the (much shorter) freeze window.
+        """
+        from repro.kernel.dump import lazy_records
+        sp = image.stack_top - manifest.length
+        if self.costs.lazy_restart:
+            mig = dump_migration_id(aout_path, self.hostname)
+            tracer, machine, pid = self.tracer, self.machine, proc.pid
+            tracer.span_begin("restart", "fault_in", mig, machine, pid=pid)
+
+            def _drained():
+                tracer.span_end("restart", "fault_in", mig, machine,
+                                ok=True, pid=pid)
+            # covers the data chunks the chunked exec left pending too:
+            # the span closes when the *last* chunk of either region
+            # lands (immediately, if nothing is pending at all)
+            image.add_lazy_chunks(lazy_records(manifest, sp),
+                                  fetch=self.chunk_lazy_fetch,
+                                  on_drained=_drained)
+        else:
+            blob = self.fetch_manifest(manifest)
+            image.restore_stack(blob)
+            self.charge(self.costs.copy_byte_us * manifest.length)
 
     def _consume_dump_files(self, proc, aout_path, stack_path):
         """Unlink the three dump files after a successful overlay."""

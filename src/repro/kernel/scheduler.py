@@ -19,6 +19,14 @@ from repro.vm import isa
 _FAULT_SIGNALS = {"ill": sig_mod.SIGILL, "segv": sig_mod.SIGSEGV,
                   "fpe": sig_mod.SIGFPE}
 
+#: cost-model knobs native tools may read for free via ``("sysctl0",
+#: name)`` — stand-ins for constants the real binaries had compiled
+#: in, routed through the cost model so experiments can sweep them
+_SYSCTL0_KNOBS = frozenset({
+    "dump_poll_tries", "dump_poll_sleep_s",
+    "restart_poll_tries", "restart_poll_sleep_s",
+})
+
 
 class Scheduler:
     """One machine's run queue."""
@@ -215,6 +223,16 @@ class Scheduler:
                     state.start()
                 try:
                     request = state.generator.send(state.next_result)
+                    # "sysctl0": a free read of a tool's build-time
+                    # tuning constant from the cost model.  The old
+                    # binaries had these compiled in, so fetching one
+                    # must cost nothing and leave no trace event —
+                    # it is resolved here, never dispatched
+                    while (isinstance(request, tuple) and len(request) == 2
+                           and request[0] == "sysctl0"
+                           and request[1] in _SYSCTL0_KNOBS):
+                        request = state.generator.send(
+                            getattr(costs, request[1]))
                 except StopIteration as done:
                     kernel.do_exit(proc, status=done.value or 0)
                     break

@@ -40,6 +40,7 @@ from repro.machine.machine import Machine
 from repro.net.network import Network
 from repro.obs import Tracer
 from repro.perf import PerfCounters
+from repro.store import ChunkStore
 
 _INF = float("inf")
 
@@ -63,6 +64,9 @@ class Cluster:
         self.network = Network(self)
         self.engine = engine
         self.faults = FaultInjector()
+        # the content-addressed chunk store backing incremental dumps
+        # (cluster-wide, like the NFS-shared dump directory itself)
+        self.chunk_store = ChunkStore(self)
         # fast-driver state: a lazy min-heap of (next_time, order,
         # token, machine).  Stale entries are detected by token (bumped
         # on every re-push) and by re-reading next_time at the top.

@@ -118,6 +118,8 @@ def migrationd_run_main(argv, env):
     yield from write_all(sock, "CMD %s\n" % command)
     buffer = bytearray()
     status = EX_FAIL
+    scanned = 0  # sentinel search resumes here, not at offset 0
+    index = -1   # sentinel position, once seen
     while True:
         data = yield ("read_timeout", sock, 1024, timeout)
         if data == -ETIMEDOUT:
@@ -135,8 +137,14 @@ def migrationd_run_main(argv, env):
                 yield from write_all(1, bytes(buffer))
             break
         buffer.extend(data)
-        index = buffer.find(_SENTINEL)
-        if index >= 0 and b"\n" in buffer[index:]:
+        # rescanning the whole buffer per read is O(n^2) over a large
+        # relayed output; back up only enough to catch a sentinel
+        # split across the read boundary
+        if index < 0:
+            index = buffer.find(_SENTINEL,
+                                max(0, scanned - (len(_SENTINEL) - 1)))
+            scanned = len(buffer)
+        if index >= 0 and buffer.find(b"\n", index) >= 0:
             if index:
                 yield from write_all(1, bytes(buffer[:index]))
             line_end = buffer.index(b"\n", index)

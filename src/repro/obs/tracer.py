@@ -40,6 +40,7 @@ CATEGORIES = frozenset({
     "restart",   # rest_proc spans
     "migrate",   # the migrate user command's end-to-end span + marks
     "recovery",  # recoveryd claiming + restarting a lost job
+    "chunk",     # chunk-store puts/gets/dedup hits + lazy fault-ins
 })
 
 #: the migration-phase timeline, as (category, name, span, phase).

@@ -34,14 +34,19 @@ from repro.errors import iserr, errno_name, UnixError, EIO, ESRCH
 from repro.kernel.constants import O_RDONLY
 from repro.kernel.cred import PACKED_SIZE as CRED_SIZE
 from repro.kernel.signals import SigState, SIGDUMP
-from repro.core.formats import FilesInfo, StackInfo, dump_file_names
+from repro.core.formats import (ChunkManifest, FilesInfo, StackInfo,
+                                dump_file_names, stack_is_chunked)
 from repro.core.symlinks import resolve_symlinks_syscalls
 from repro.programs.base import (parse_options, print_err, read_file,
                                  write_file)
 from repro.programs.exitcodes import EX_FAIL, EX_TRANSIENT
+from repro.store import DIGEST_BYTES
 from repro.vm.aout import AOUT_MAGIC
 
-#: polling parameters from the paper
+#: polling parameters from the paper — these are the *defaults* of the
+#: ``dump_poll_tries`` / ``dump_poll_sleep_s`` cost-model knobs, which
+#: the tool reads at run time (via the free ``sysctl0`` fetch) so the
+#: latency benchmark isn't floored by a hard-coded one-second sleep
 POLL_TRIES = 10
 POLL_SLEEP_SECONDS = 1
 
@@ -77,7 +82,13 @@ def dumpproc_main(argv, env):
 
     # wait for the victim to be scheduled and finish writing its dump
     # (checking the a.out magic through the open we make anyway)
-    for attempt in range(POLL_TRIES):
+    poll_tries = yield ("sysctl0", "dump_poll_tries")
+    poll_sleep = yield ("sysctl0", "dump_poll_sleep_s")
+    if isinstance(poll_sleep, float) and poll_sleep.is_integer():
+        # whole-second intervals sleep with int arithmetic, keeping
+        # virtual timestamps int-valued exactly as the old constant did
+        poll_sleep = int(poll_sleep)
+    for attempt in range(poll_tries):
         fd = yield ("open", aout_path, O_RDONLY, 0)
         if not iserr(fd):
             magic = yield ("read", fd, 2)
@@ -88,7 +99,7 @@ def dumpproc_main(argv, env):
                                      % aout_path)
                 return EX_TRANSIENT
             break
-        yield ("sleep", POLL_SLEEP_SECONDS)
+        yield ("sleep", poll_sleep)
     else:
         yield from print_err("dumpproc: no dump appeared at %s"
                              % aout_path)
@@ -141,7 +152,9 @@ def _verify_stack(stack_path):
     """yield-from: an exit status on verification failure, else None.
 
     Magic + length checks only: the stack header, and the stack
-    file's exact expected size.
+    file's exact expected size.  A chunked stack (incremental dump)
+    carries a manifest instead of the raw bytes, so its expected size
+    is computed from the manifest header read in a second prefix.
     """
     from repro.vm.image import Registers
     header = yield from _read_prefix(stack_path, _STACK_HEADER)
@@ -150,8 +163,13 @@ def _verify_stack(stack_path):
         try:
             __, stack_size = StackInfo.peek_header(header)
             stat = yield ("stat", stack_path)
-            bad_stack = iserr(stat) or stat.size != (
-                _STACK_HEADER + stack_size + Registers.FORMAT.size
+            if stack_is_chunked(header):
+                payload = yield from _chunked_stack_payload(
+                    stack_path, stack_size)
+            else:
+                payload = stack_size
+            bad_stack = iserr(stat) or iserr(payload) or stat.size != (
+                _STACK_HEADER + payload + Registers.FORMAT.size
                 + SigState.PACKED_SIZE)
         except UnixError:
             bad_stack = True
@@ -159,6 +177,25 @@ def _verify_stack(stack_path):
         yield from print_err("dumpproc: bad dump %s" % stack_path)
         return EX_TRANSIENT
     return None
+
+
+def _chunked_stack_payload(stack_path, stack_size):
+    """yield-from: expected bytes between header and registers, or -errno.
+
+    For a chunked stack that is the manifest: its fixed header plus
+    one digest per chunk, cross-checked against the stack size the
+    file header advertised.
+    """
+    prefix = yield from _read_prefix(
+        stack_path, _STACK_HEADER + ChunkManifest.HEADER_SIZE)
+    if iserr(prefix):
+        return prefix
+    __, chunk_bytes, length, count = struct.unpack(
+        "<HIIH", prefix[_STACK_HEADER:])
+    if chunk_bytes <= 0 or length != stack_size or \
+            count != -(-length // chunk_bytes):
+        return -EIO
+    return ChunkManifest.HEADER_SIZE + DIGEST_BYTES * count
 
 
 def _read_prefix(path, nbytes):

@@ -1,0 +1,5 @@
+"""Cluster-shared content-addressed chunk store (DESIGN.md section 10)."""
+
+from repro.store.chunkstore import ChunkStore, DIGEST_BYTES, chunk_digest
+
+__all__ = ["ChunkStore", "DIGEST_BYTES", "chunk_digest"]

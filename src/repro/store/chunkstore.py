@@ -1,0 +1,132 @@
+"""The cluster-shared content-addressed chunk store.
+
+Incremental dumps (``CostModel.incremental_dumps``) split the a.out
+and stack blobs into fixed-size chunks keyed by a short content
+digest.  The dump files then carry only *manifests* (digest lists, see
+:class:`repro.core.formats.ChunkManifest`); the chunk payloads live in
+this store, shared by every machine of the cluster the way the dump
+directory itself is shared over NFS.
+
+The store is modelled after a log-structured segment shared through
+the network filesystem:
+
+* ``put`` appends the chunk to the local machine's store segment —
+  sequential block writes at local-disk rates, no per-chunk create
+  (the whole point: ``disk_create_us`` stays a per-*file* cost and the
+  manifests are the only files a dump creates).  A chunk already
+  present anywhere in the store is deduplicated for free.
+* ``get`` reads the chunk from the nearest holder: a local copy at
+  local-disk rates, otherwise over NFS from the first reachable
+  machine holding it (hosts sorted by name, so both simulation
+  engines pick the same holder).  A remote fetch leaves a local copy
+  behind (write-behind caching, not charged — the write happens off
+  the migration path).
+
+Digesting is charged per byte (``digest_byte_us``); the digest itself
+is a real (truncated blake2b) hash so content collisions behave like
+content equality, deterministically across runs.
+
+Fault-injection sites: ``store.put`` and ``store.get`` (the latter
+also honours ``corrupt`` filters, which a restart detects through the
+end-to-end digest check and reports as ``EIO``).
+"""
+
+import hashlib
+
+from repro.errors import UnixError, EIO, EHOSTDOWN
+
+#: digest width: 64 bits is plenty for a cluster-lifetime of chunks
+DIGEST_BYTES = 8
+
+
+def chunk_digest(blob):
+    """The (uncharged) content digest of a chunk."""
+    return hashlib.blake2b(bytes(blob), digest_size=DIGEST_BYTES).digest()
+
+
+class ChunkStore:
+    """One per cluster; holds chunk payloads and who has a copy."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self._chunks = {}   # digest -> bytes
+        self._holders = {}  # digest -> set of hostnames with a copy
+
+    def __len__(self):
+        return len(self._chunks)
+
+    def contains(self, digest):
+        return digest in self._chunks
+
+    def holders(self, digest):
+        return frozenset(self._holders.get(digest, ()))
+
+    def digest(self, kernel, blob):
+        """Digest ``blob``, charging the per-byte checksum cost."""
+        kernel.charge(kernel.costs.digest_byte_us * len(blob))
+        return chunk_digest(blob)
+
+    def put(self, kernel, digest, blob):
+        """Store one chunk; True if it was new (and paid for).
+
+        A duplicate put is the dedup hit the incremental dump exists
+        for: nothing is written, nothing is charged.
+        """
+        kernel.fault_check("store.put", digest.hex())
+        perf = self.cluster.perf
+        tracer = self.cluster.tracer
+        if digest in self._chunks:
+            perf.chunk_dedup_hits += 1
+            if tracer.enabled:
+                tracer.emit("chunk", "dedup", kernel.machine,
+                            digest=digest.hex(), bytes=len(blob))
+            return False
+        self._chunks[digest] = bytes(blob)
+        self._holders[digest] = {kernel.hostname}
+        perf.chunk_puts += 1
+        perf.chunk_bytes_written += len(blob)
+        kernel.io_charge(kernel.machine.fs, len(blob), write=True)
+        if tracer.enabled:
+            tracer.emit("chunk", "put", kernel.machine,
+                        digest=digest.hex(), bytes=len(blob))
+        return True
+
+    def get(self, kernel, digest):
+        """Fetch one chunk, charging local or NFS read rates."""
+        kernel.fault_check("store.get", digest.hex())
+        perf = self.cluster.perf
+        tracer = self.cluster.tracer
+        blob = self._chunks.get(digest)
+        if blob is None:
+            raise UnixError(EIO, "missing chunk %s" % digest.hex())
+        holders = self._holders[digest]
+        perf.chunk_gets += 1
+        if kernel.hostname in holders:
+            kernel.io_charge(kernel.machine.fs, len(blob))
+            source = kernel.hostname
+        else:
+            source = self._pick_holder(kernel, holders)
+            kernel.io_charge(self.cluster.machines[source].fs, len(blob))
+            perf.chunk_remote_fetches += 1
+            perf.chunk_bytes_fetched += len(blob)
+            holders.add(kernel.hostname)  # write-behind local copy
+        blob = kernel.fault_filter("store.get", blob, digest.hex())
+        if chunk_digest(blob) != digest:
+            raise UnixError(EIO, "chunk %s failed its digest check"
+                            % digest.hex())
+        if tracer.enabled:
+            tracer.emit("chunk", "get", kernel.machine,
+                        digest=digest.hex(), bytes=len(blob),
+                        source=source)
+        return blob
+
+    def _pick_holder(self, kernel, holders):
+        """The holder a remote fetch reads from (deterministic)."""
+        for host in sorted(holders):
+            machine = self.cluster.machines.get(host)
+            if machine is None or not machine.running:
+                continue
+            if not self.cluster.network.reachable(kernel.hostname, host):
+                continue
+            return host
+        raise UnixError(EHOSTDOWN, "no reachable holder for chunk")

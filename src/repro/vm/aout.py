@@ -21,6 +21,13 @@ from repro.errors import UnixError, ENOEXEC
 #: 0407 — OMAGIC, the old impure format
 AOUT_MAGIC = 0o407
 
+#: header flag bit: the file carries chunk *manifests* instead of the
+#: raw text and data segments (incremental dumps, DESIGN.md section
+#: 10).  The magic stays 0407 so a plain two-byte sniff — which is all
+#: ``dumpproc`` and ``restart`` do before handing the file to the
+#: kernel — accepts both layouts.
+AOUT_FLAG_CHUNKED = 0x1
+
 _HEADER = struct.Struct("<HHIIIIII")
 HEADER_SIZE = _HEADER.size
 
@@ -76,9 +83,13 @@ def parse_aout(blob):
 
     Raises :class:`~repro.errors.UnixError` with ``ENOEXEC`` when the
     file is not a valid executable — the same error ``execve()``
-    reports for garbage files.
+    reports for garbage files.  Chunked files (``AOUT_FLAG_CHUNKED``)
+    carry manifests, not segments; callers must split on the flag
+    before parsing.
     """
     header = AOutHeader.unpack(blob)
+    if header.flags & AOUT_FLAG_CHUNKED:
+        raise UnixError(ENOEXEC, "chunked a.out has no inline segments")
     need = HEADER_SIZE + header.text_size + header.data_size
     if len(blob) < need:
         raise UnixError(ENOEXEC, "truncated a.out: %d < %d"

@@ -174,10 +174,14 @@ class CPU:
         d = regs.d
         a = regs.a
         mem = image.mem
+        dp = image.dirty_pages
         # Compiled blocks cover the common case; anything they cannot
         # prove safe bails *before mutating state* so the reference
         # interpreter below replays it with exact legacy semantics.
-        use_blocks = self.use_predecode
+        # While copy-on-reference chunks are pending the interpreter
+        # runs alone: it routes every access through image._check,
+        # which is where the pending chunks fault in.
+        use_blocks = self.use_predecode and image._lazy is None
         try:
             while executed < max_instructions:
                 pc = regs.pc
@@ -192,7 +196,7 @@ class CPU:
                             perf.instructions_decoded += ndecoded
                     if block is not INTERP:
                         n, npc, zf, nf, sig = block(
-                            d, a, mem, max_instructions - executed,
+                            d, a, mem, dp, max_instructions - executed,
                             regs.zf, regs.nf)
                         executed += n
                         regs.pc = npc
@@ -211,6 +215,10 @@ class CPU:
                     if pc < image.text_base or \
                             pc + isize > image.mem_size:
                         return FaultStop(executed, "segv", pc)
+                    if image._lazy is not None:
+                        # instruction fetch from a pending chunk
+                        # (code run out of data or stack)
+                        image._lazy_touch(pc, isize)
                     inst = isa.decode(image.mem, pc)
                     decoded[pc] = inst
                     if perf is not None:

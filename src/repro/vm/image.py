@@ -14,6 +14,11 @@ import struct
 TEXT_BASE = 0x1000
 DEFAULT_MEM_SIZE = 256 * 1024
 
+#: granularity of dirty tracking and of copy-on-reference fill, in
+#: bytes (one "page"); incremental dump chunks are whole pages
+PAGE_SHIFT = 10
+PAGE_BYTES = 1 << PAGE_SHIFT
+
 _U32 = 0xFFFFFFFF
 
 
@@ -140,6 +145,26 @@ class ProcessImage:
         #: it just flushes the cache)
         self.text_version = 0
         self._decode_cache = None
+        #: one flag per page, set on every store (interpreter *and*
+        #: predecoded blocks mark identically, so both engines agree);
+        #: incremental dumps skip chunks whose pages are all clean
+        self.dirty_pages = bytearray(
+            (mem_size + PAGE_BYTES - 1) >> PAGE_SHIFT)
+        #: manifests of the dump this image was restored from (or the
+        #: chunked a.out it was exec'd from): region name ->
+        #: ``(base, length, chunk_bytes, digests)``.  A re-dump reuses
+        #: these digests for chunks whose pages stayed clean.
+        self.chunk_baseline = None
+        # -- copy-on-reference state (lazy restart) -----------------
+        # pending chunks not yet faulted in: chunk id -> (start, size,
+        # digest); a page -> {chunk ids} map routes the first touch of
+        # any page to the chunks overlapping it.  _lazy is None when
+        # nothing is pending — the common case every access checks.
+        self._lazy = None
+        self._lazy_pages = None
+        self._lazy_fetch = None
+        self._lazy_drained = None
+        self._lazy_next_id = 0
 
     @property
     def mem_size(self):
@@ -163,6 +188,8 @@ class ProcessImage:
     def _check(self, address, nbytes):
         if address < 0 or address + nbytes > len(self.mem):
             raise SegmentationFault(address)
+        if self._lazy is not None:
+            self._lazy_touch(address, nbytes)
 
     def read_u8(self, address):
         self._check(address, 1)
@@ -175,6 +202,7 @@ class ProcessImage:
     def write_u8(self, address, value):
         self._check(address, 1)
         self.mem[address] = value & 0xFF
+        self.dirty_pages[address >> PAGE_SHIFT] = 1
         self._touch_text(address)
 
     def read_i32(self, address):
@@ -186,6 +214,8 @@ class ProcessImage:
         self._check(address, 4)
         self.mem[address:address + 4] = to_unsigned(value).to_bytes(
             4, "little")
+        self.dirty_pages[address >> PAGE_SHIFT] = 1
+        self.dirty_pages[(address + 3) >> PAGE_SHIFT] = 1
         self._touch_text(address)
 
     def read_bytes(self, address, nbytes):
@@ -195,22 +225,124 @@ class ProcessImage:
     def write_bytes(self, address, data):
         self._check(address, len(data))
         self.mem[address:address + len(data)] = data
+        if data:
+            first = address >> PAGE_SHIFT
+            last = (address + len(data) - 1) >> PAGE_SHIFT
+            self.dirty_pages[first:last + 1] = b"\x01" * (last - first + 1)
         self._touch_text(address)
 
     def read_cstring(self, address, limit=4096):
         """Read a NUL-terminated string from guest memory."""
         end = address
+        lazy = self._lazy is not None
         while end < len(self.mem) and end - address < limit:
+            if lazy:
+                self._lazy_touch(end, 1)
+                lazy = self._lazy is not None
             if self.mem[end] == 0:
                 return bytes(self.mem[address:end]).decode(
                     "latin-1")
             end += 1
         raise SegmentationFault(address, "unterminated string")
 
+    def clear_dirty(self):
+        """Reset dirty tracking (after a restore installs a baseline)."""
+        for i in range(len(self.dirty_pages)):
+            self.dirty_pages[i] = 0
+
     def write_cstring(self, address, text):
         data = text.encode("latin-1") + b"\x00"
         self.write_bytes(address, data)
         return len(data)
+
+    # -- copy-on-reference (lazy restart) ---------------------------------
+
+    def add_lazy_chunks(self, records, fetch=None, on_drained=None):
+        """Register pending copy-on-reference chunks.
+
+        ``records`` is an iterable of ``(start, size, digest)``; the
+        bytes stay un-materialised until the first access of any page
+        a chunk overlaps, at which point ``fetch(digest, size)`` is
+        called (charging whatever it charges *at access time*) and the
+        chunk is filled in.  ``on_drained`` fires when the last
+        pending chunk lands.  While anything is pending the CPU stays
+        on the interpreter (which routes every access through
+        :meth:`_check`); predecoded blocks resume once drained.
+        """
+        if fetch is not None:
+            self._lazy_fetch = fetch
+        if on_drained is not None:
+            self._lazy_drained = on_drained
+        for start, size, digest in records:
+            if size <= 0:
+                continue
+            if self._lazy is None:
+                self._lazy = {}
+                self._lazy_pages = {}
+            cid = self._lazy_next_id
+            self._lazy_next_id += 1
+            self._lazy[cid] = (start, size, digest)
+            for page in range(start >> PAGE_SHIFT,
+                              ((start + size - 1) >> PAGE_SHIFT) + 1):
+                self._lazy_pages.setdefault(page, set()).add(cid)
+        if self._lazy is None and self._lazy_drained is not None:
+            callback = self._lazy_drained
+            self._lazy_drained = None
+            callback()
+
+    def _lazy_touch(self, address, nbytes):
+        """Fault in every pending chunk the access overlaps."""
+        last = (address + max(nbytes, 1) - 1) >> PAGE_SHIFT
+        page = address >> PAGE_SHIFT
+        hit = set()
+        while page <= last and self._lazy_pages is not None:
+            cids = self._lazy_pages.get(page)
+            if cids:
+                hit.update(cids)
+            page += 1
+        for cid in sorted(hit):
+            self._lazy_fill(cid)
+
+    def _lazy_fill(self, cid):
+        record = self._lazy.pop(cid, None) if self._lazy else None
+        if record is None:
+            return
+        start, size, digest = record
+        for page in range(start >> PAGE_SHIFT,
+                          ((start + size - 1) >> PAGE_SHIFT) + 1):
+            cids = self._lazy_pages.get(page)
+            if cids:
+                cids.discard(cid)
+                if not cids:
+                    del self._lazy_pages[page]
+        try:
+            blob = self._lazy_fetch(digest, size)
+        except SegmentationFault:
+            raise
+        except Exception as err:
+            # a missing/corrupt/unreachable chunk at access time is a
+            # demand-paging failure: the process takes SIGSEGV (or the
+            # syscall doing the copy fails with EFAULT), exactly like
+            # a real pager losing its backing store
+            raise SegmentationFault(
+                start, "copy-on-reference fetch failed") from err
+        if len(blob) != size:
+            raise SegmentationFault(start, "short copy-on-reference chunk")
+        # direct fill: not a guest store, so no dirty mark and no
+        # text_version bump
+        self.mem[start:start + size] = blob
+        if not self._lazy:
+            self._lazy = None
+            self._lazy_pages = None
+            callback = self._lazy_drained
+            self._lazy_drained = None
+            if callback is not None:
+                callback()
+
+    def drain_lazy(self):
+        """Fault in everything still pending (fork, explicit flush)."""
+        while self._lazy:
+            self._lazy_fill(min(self._lazy))
 
     # -- decode-cache interface ------------------------------------------
 
@@ -259,8 +391,14 @@ class ProcessImage:
 
     def copy(self):
         """Deep copy (used by fork())."""
+        # fork wants a complete address space: materialise anything
+        # still pending rather than teach the child lazy bookkeeping
+        self.drain_lazy()
         other = ProcessImage(mem_size=0)
         other.mem = bytearray(self.mem)
+        other.dirty_pages = bytearray(self.dirty_pages)
+        other.chunk_baseline = dict(self.chunk_baseline) \
+            if self.chunk_baseline is not None else None
         other.regs = self.regs.copy()
         other.text_base = self.text_base
         other.text_size = self.text_size

@@ -6,7 +6,12 @@ re-dispatching every instruction through :meth:`CPU.run`'s if-chain,
 we decode each straight-line run of instructions *once* and compile it
 to a small Python function.  A block function has the signature::
 
-    block(d, a, mem, budget, zf, nf) -> (executed, next_pc, zf, nf, sig)
+    block(d, a, mem, dp, budget, zf, nf) -> (executed, next_pc, zf, nf, sig)
+
+``dp`` is the image's per-page dirty bitmap: every memory store marks
+the page(s) it touches, exactly as the interpreter's ``write_u8`` /
+``write_i32`` do, so incremental dumps see the same dirty set on both
+engines.
 
 where ``sig`` is one of the :data:`SIG_OK`/``TRAP``/``HALT``/``BAIL``
 codes below.  ``BAIL`` means the instruction at ``next_pc`` was *not*
@@ -29,7 +34,7 @@ for code executed out of data or stack.
 
 from repro.vm import isa
 from repro.vm.isa import Op, Mode
-from repro.vm.image import to_unsigned
+from repro.vm.image import to_unsigned, PAGE_SHIFT
 
 #: marker cached for pcs that must go through the interpreter
 INTERP = "interp"
@@ -155,6 +160,22 @@ def _emit_store(lines, ctx, mode, operand, var, byte=False):
     else:
         lines.append("mem[%s:%s + 4] = (%s & 4294967295)"
                      ".to_bytes(4, 'little')" % (addr, addr, var))
+    _emit_dirty(lines, addr, 1 if byte else 4)
+
+
+def _emit_dirty(lines, addr, size):
+    """Mark the page(s) a store of ``size`` bytes at ``addr`` touches,
+    mirroring the interpreter's ``write_u8``/``write_i32``."""
+    if addr == "t":
+        lines.append("dp[t >> %d] = 1" % PAGE_SHIFT)
+        if size == 4:
+            lines.append("dp[(t + 3) >> %d] = 1" % PAGE_SHIFT)
+        return
+    first = int(addr) >> PAGE_SHIFT
+    last = (int(addr) + size - 1) >> PAGE_SHIFT
+    lines.append("dp[%d] = 1" % first)
+    if last != first:
+        lines.append("dp[%d] = 1" % last)
 
 
 def _target_expr(mode, operand):
@@ -296,6 +317,7 @@ def _emit_instruction(lines, ctx, inst):
         lines.append("if t < %d or t + 4 > %d: %s"
                      % (ctx.text_end, ctx.mem_size, ctx.bail()))
         lines.append("mem[t:t + 4] = %r" % ret)
+        _emit_dirty(lines, "t", 4)
         lines.append("a[7] = t")
         lines.append(done + "%s, zf, nf, 0" % target)
         return True
@@ -314,6 +336,7 @@ def _emit_instruction(lines, ctx, inst):
                      % (ctx.text_end, ctx.mem_size, ctx.bail()))
         lines.append("mem[t:t + 4] = (v & 4294967295)"
                      ".to_bytes(4, 'little')")
+        _emit_dirty(lines, "t", 4)
         lines.append("a[7] = t")
         return False
     if opcode == Op.POP:
@@ -370,7 +393,7 @@ def compile_block(model, image, start_pc, max_len=MAX_BLOCK_LEN):
         return INTERP, 0
     if not terminated:
         lines.append("return %d, %d, zf, nf, 0" % (n, pc))
-    source = ("def _block(d, a, mem, budget, zf, nf, "
+    source = ("def _block(d, a, mem, dp, budget, zf, nf, "
               "_fb=int.from_bytes):\n    "
               + "\n    ".join(lines) + "\n")
     namespace = {}
