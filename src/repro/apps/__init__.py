@@ -4,6 +4,8 @@
   open-file snapshots and restore-to-the-n-th-checkpoint;
 * :mod:`repro.apps.loadbalance` — a load balancer moving CPU-bound
   jobs from busy machines to idle ones;
+* :mod:`repro.apps.policy` — the pure selection policies shared by
+  the balancer and the in-simulation ``loadd`` daemon;
 * :mod:`repro.apps.nightbatch` — the day/night CPU-hog scheduler:
   corral the hogs onto one machine during the day, spread them across
   the idle network at night.
@@ -17,6 +19,11 @@ kernel structures.
 from repro.apps.checkpoint import CheckpointManager
 from repro.apps.loadbalance import LoadBalancer, LoadBalancerPolicy
 from repro.apps.nightbatch import NightBatchScheduler
+from repro.apps.policy import (HostLoad, Move, ThresholdPolicy,
+                               WatermarkPolicy, WorkStealingPolicy,
+                               make_policy)
 
 __all__ = ["CheckpointManager", "LoadBalancer", "LoadBalancerPolicy",
-           "NightBatchScheduler"]
+           "NightBatchScheduler", "HostLoad", "Move",
+           "ThresholdPolicy", "WatermarkPolicy",
+           "WorkStealingPolicy", "make_policy"]

@@ -12,20 +12,24 @@ terms of real time response and a more efficient one would have to be
 written" — so the balancer drives ``dumpproc``/``restart`` directly on
 the machines involved (the shape a daemon-based implementation would
 have), not the rsh-based ``migrate``.
+
+The *selection* rules live in :mod:`repro.apps.policy` as pure
+functions over a load view; this module supplies the measurement (it
+inspects kernels directly — the embedder's shortcut) and the
+execution.  The in-simulation daemon doing the same job over the
+virtual network is ``loadd`` (:mod:`repro.programs.loadd`).
 """
 
+from repro.apps.policy import HostLoad, ThresholdPolicy
 
-class LoadBalancerPolicy:
-    """Tunable selection rules."""
 
-    def __init__(self, min_cpu_seconds=0.5, imbalance_threshold=2,
-                 max_moves_per_round=1):
-        #: candidates must have consumed at least this much CPU (the
-        #: paper's "running for more than a certain amount of time")
-        self.min_cpu_seconds = min_cpu_seconds
-        #: move only if busiest - idlest >= this many runnable jobs
-        self.imbalance_threshold = imbalance_threshold
-        self.max_moves_per_round = max_moves_per_round
+class LoadBalancerPolicy(ThresholdPolicy):
+    """Tunable selection rules (the original busiest-vs-idlest API).
+
+    Kept as the balancer's default policy type; any policy from
+    :mod:`repro.apps.policy` may be passed to :class:`LoadBalancer`
+    instead.
+    """
 
 
 class Migration:
@@ -73,23 +77,26 @@ class LoadBalancer:
                 and p.cpu_us() / 1e6 >= self.policy.min_cpu_seconds]
         return sorted(jobs, key=lambda p: -p.cpu_us())
 
+    def view(self):
+        """The policy-engine load view, in configured host order."""
+        view = {}
+        for host in self.hosts:
+            kernel = self.site.machine(host).kernel
+            jobs = [(p.pid, p.cpu_us() / 1e6)
+                    for p in kernel.procs.all_procs()
+                    if p.is_vm() and not p.zombie()]
+            view[host] = HostLoad(host=host, runnable=len(jobs),
+                                  candidates=tuple(jobs))
+        return view
+
     # -- balancing ------------------------------------------------------------------
 
     def step(self):
         """One balancing round; returns the migrations performed."""
         moves = []
-        for __ in range(self.policy.max_moves_per_round):
-            loads = self.loads()
-            busiest = max(self.hosts, key=lambda h: loads[h])
-            idlest = min(self.hosts, key=lambda h: loads[h])
-            if loads[busiest] - loads[idlest] < \
-                    self.policy.imbalance_threshold:
-                break
-            pool = self.candidates(busiest)
-            if not pool:
-                break
-            victim = pool[0]
-            moved = self.migrate(victim.pid, busiest, idlest)
+        for decision in self.policy.select(self.view()):
+            moved = self.migrate(decision.pid, decision.source,
+                                 decision.destination)
             if moved is None:
                 break
             moves.append(moved)

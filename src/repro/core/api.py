@@ -145,6 +145,36 @@ class MigrationSite:
                     or self.find_restarted(destination) is not None))
         return handle
 
+    def start_loadd(self, hosts=None, interval=None, rounds=None,
+                    policy=None, uid=0):
+        """Start the load-balancing daemon on ``hosts`` (DESIGN.md
+        section 11).
+
+        Every daemon is told the full host list as its peer set (it
+        ignores itself).  Returns the loadd SpawnHandles; each daemon
+        exits after its configured number of balance rounds, so a
+        ``run_quiet()`` still terminates.  Opt-in by design: a site
+        that never calls this runs byte-identically to one built
+        before loadd existed.
+        """
+        hosts = list(hosts) if hosts is not None else \
+            [name for name in self.cluster.hosts()
+             if name != self.server_name]
+        argv_tail = []
+        if interval is not None:
+            argv_tail += ["-i", str(interval)]
+        if rounds is not None:
+            argv_tail += ["-n", str(rounds)]
+        if policy is not None:
+            argv_tail += ["-P", policy]
+        handles = []
+        for name in hosts:
+            machine = self.machine(name)
+            handles.append(machine.spawn(
+                "/bin/loadd", ["loadd"] + argv_tail + hosts,
+                uid=uid, cwd="/tmp"))
+        return handles
+
     # -- inspection helpers --------------------------------------------------------------
 
     def find_restarted(self, host):

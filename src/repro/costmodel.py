@@ -125,6 +125,22 @@ class CostModel:
     recovery_interval_s: float = 2.0  #: recoveryd scan period
     recovery_rounds: int = 10  #: recoveryd scans before exiting
 
+    # --- loadd load balancing (DESIGN.md section 11, not costs) ---------
+    #: policy knobs read by the loadd daemon via ``sysctl``.  All of
+    #: them are inert until a loadd is actually spawned — the daemon
+    #: is opt-in (``MigrationSite.start_loadd``), so default-mode
+    #: runs, figures and traces are byte-identical with or without
+    #: this section.
+    loadd_interval_s: float = 5.0  #: seconds between balance rounds
+    loadd_rounds: int = 10  #: balance rounds before loadd exits
+    load_stale_s: float = 15.0  #: drop load reports older than this
+    loadd_policy: str = "threshold"  #: threshold|watermark|stealing
+    loadd_min_cpu_s: float = 0.5  #: candidate CPU-seconds floor
+    loadd_imbalance: int = 2  #: threshold policy: spread to act on
+    loadd_max_moves: int = 1  #: moves per host per balance round
+    loadd_high_watermark: int = 2  #: watermark policy: shed above
+    loadd_low_watermark: int = 1  #: watermark policy: feed below
+
     # --- tty ----------------------------------------------------------
     tty_char_us: float = 90.0  #: per character through the tty queue
     tty_ioctl_us: float = 200.0  #: get/set terminal modes

@@ -67,3 +67,5 @@ STACK_MAGIC = 0o444
 #: manifests themselves open with their own magic
 STACK_CHUNK_MAGIC = 0o443
 CHUNK_MAGIC = 0o446
+#: the loadd LOADREPORT wire format (DESIGN.md section 11)
+LOADREPORT_MAGIC = 0o447

@@ -116,6 +116,7 @@ class MiscSyscalls:
                 "utime_us": entry.utime_us,
                 "stime_us": entry.stime_us,
                 "command": entry.command,
+                "vm": 1 if entry.is_vm() else 0,
             })
         self.charge(self.costs.filetable_op_us * max(1, len(rows)))
         return rows
@@ -141,13 +142,19 @@ class MiscSyscalls:
             raise UnixError(EINVAL, "sysctl %r" % (name,))
         return value
 
-    def sys_perf_note(self, proc, counter, amount=1):
-        """Bump a cluster perf counter from a user command.
+    #: perf counters user commands may bump via ``perf_note``: the
+    #: pipeline-hardening trio plus loadd's ``ld_*`` family.  The
+    #: engine counters stay kernel-private.
+    _PERF_NOTE_COUNTERS = frozenset({
+        "retries", "timeouts", "recoveries",
+        "ld_reports_sent", "ld_reports_recv", "ld_reports_dropped",
+        "ld_stale_drops", "ld_suspect_skips", "ld_rounds",
+        "ld_moves", "ld_move_failures",
+    })
 
-        Only the pipeline-hardening counters are writable this way;
-        the engine counters stay kernel-private.
-        """
-        if counter not in ("retries", "timeouts", "recoveries"):
+    def sys_perf_note(self, proc, counter, amount=1):
+        """Bump a cluster perf counter from a user command."""
+        if counter not in self._PERF_NOTE_COUNTERS:
             raise UnixError(EINVAL, "perf_note %r" % (counter,))
         if isinstance(amount, bool) \
                 or not isinstance(amount, (int, float)):
@@ -173,7 +180,7 @@ class MiscSyscalls:
         Only the high-level pipeline categories are writable from
         userland; the kernel-owned categories stay kernel-private.
         """
-        if cat not in ("migrate", "recovery"):
+        if cat not in ("migrate", "recovery", "loadd"):
             raise UnixError(EINVAL, "trace_mark category %r" % (cat,))
         if not isinstance(name, str) or not name:
             raise UnixError(EINVAL, "trace_mark name %r" % (name,))
@@ -189,7 +196,7 @@ class MiscSyscalls:
     def sys_trace_span(self, proc, cat, which, mig, ok=1):
         """Open (``which="B"``) or close (``"E"``) a span from a user
         command — how ``migrate`` brackets its end-to-end phase."""
-        if cat not in ("migrate", "recovery"):
+        if cat not in ("migrate", "recovery", "loadd"):
             raise UnixError(EINVAL, "trace_span category %r" % (cat,))
         if which not in ("B", "E"):
             raise UnixError(EINVAL, "trace_span %r" % (which,))
@@ -228,6 +235,32 @@ class MiscSyscalls:
             })
         self.charge(self.costs.filetable_op_us * max(1, len(rows)))
         return rows
+
+    # -- userland fault sites (loadd) ----------------------------------------
+
+    def sys_fault_point(self, proc, site, detail=""):
+        """Evaluate a *userland* fault-injection site.
+
+        Daemons coded as native programs have no kernel write path of
+        their own to hang fault sites on, so this call lets them ask
+        the injector directly — restricted to the ``loadd.`` site
+        namespace so userland cannot spoof kernel sites.  Armed fail
+        rules surface as the rule's errno; delay/crash/partition
+        behave exactly as at kernel sites.
+        """
+        if not isinstance(site, str) or not site.startswith("loadd."):
+            raise UnixError(EINVAL, "fault_point %r" % (site,))
+        self.fault_check(site, str(detail))
+        return 0
+
+    def sys_fault_data(self, proc, site, data, detail=""):
+        """Pass a userland blob through a data fault site (corrupt
+        rules); same ``loadd.`` namespace restriction."""
+        if not isinstance(site, str) or not site.startswith("loadd."):
+            raise UnixError(EINVAL, "fault_data %r" % (site,))
+        if not isinstance(data, (bytes, bytearray)):
+            raise UnixError(EINVAL, "fault_data needs bytes")
+        return self.fault_filter(site, bytes(data), str(detail))
 
     # -- heartbeat failure detector ------------------------------------------
 

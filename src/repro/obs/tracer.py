@@ -41,6 +41,7 @@ CATEGORIES = frozenset({
     "migrate",   # the migrate user command's end-to-end span + marks
     "recovery",  # recoveryd claiming + restarting a lost job
     "chunk",     # chunk-store puts/gets/dedup hits + lazy fault-ins
+    "loadd",     # loadd balance-decision spans + move marks
 })
 
 #: the migration-phase timeline, as (category, name, span, phase).

@@ -25,6 +25,7 @@ def install_standard_programs(machine):
     from repro.programs.shell import sh_main
     from repro.programs.ckptd import ckptd_main
     from repro.programs.recoveryd import recoveryd_main
+    from repro.programs.loadd import loadd_main, loadd_recv_main
     from repro.programs.coreutils import (echo_main, cat_main,
                                           pwd_main, wc_main,
                                           true_main, false_main)
@@ -51,6 +52,9 @@ def install_standard_programs(machine):
     machine.install_native_program("ckptd", ckptd_main, size=12288)
     machine.install_native_program("recoveryd", recoveryd_main,
                                    size=16384)
+    machine.install_native_program("loadd", loadd_main, size=16384)
+    machine.install_native_program("loadd-recv", loadd_recv_main,
+                                   size=8192)
     machine.install_native_program("echo", echo_main, size=2048)
     machine.install_native_program("cat", cat_main, size=4096)
     machine.install_native_program("pwd", pwd_main, size=2048)

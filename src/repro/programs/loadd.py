@@ -1,0 +1,376 @@
+"""``loadd`` — the automatic load-balancing daemon (section 8).
+
+The paper's closing application: "CPU bound jobs can be moved from
+busy nodes of the network to others that are idle", but "the migrate
+application may be too slow in terms of real time response".  loadd
+is the daemonized answer: it never touches rsh — remote work goes
+through ``migrationd`` at its well-known port, exactly the section
+6.4 proposal.
+
+One loadd runs per participating host, told its peers on the command
+line.  Each round it:
+
+1. samples local load via ``getproctab`` (runnable VM jobs and their
+   CPU consumption) and spools its own ``LOADREPORT``;
+2. broadcasts the report to every peer's ``loadd-recv`` at the
+   well-known port — skipping peers the heartbeat detector already
+   suspects dead, so a crashed host costs nothing but its absence;
+3. rebuilds the cluster load view from the spool, dropping reports
+   that are corrupt (unlinked and counted, never fatal), stale
+   (older than ``load_stale_s`` — a partitioned peer ages out), or
+   from hb-suspected hosts;
+4. asks its policy (:mod:`repro.apps.policy`) for moves and executes
+   only the ones whose *source is this host* — only the owner of a
+   job may dump it, which is what keeps two balancers from ever
+   duplicating a process.  Destinations it just fed are assumed one
+   job busier for ``SETTLE_ROUNDS`` rounds, damping the herd effect
+   of re-balancing against a peer's not-yet-updated report;
+5. moves a job by running ``dumpproc`` locally, then ``restart -k``
+   on the destination through ``migrationd-run``, taking the kernel's
+   consumption of the staged a.out as the ack (the ``migrate``
+   technique).  If the remote restart fails the job is restarted
+   *locally* from the same dump — a failed move degrades to a no-op
+   instead of losing the job.
+
+The companion ``loadd-recv`` process owns the well-known port: it
+blocks in accept (so an idle cluster still quiesces), reads one
+report per connection, validates it, and spools it for the next
+balancing round.  Fault sites ``loadd.send`` / ``loadd.recv`` inject
+report loss, delay, corruption, crashes and partitions on either
+side of the exchange.
+
+Usage: ``loadd [-i interval] [-n rounds] [-P policy] peer...``
+(defaults from the ``loadd_interval_s`` / ``loadd_rounds`` /
+``loadd_policy`` sysctl knobs; the local host may appear in the peer
+list and is ignored there).
+"""
+
+from repro.errors import iserr, ENOENT, UnixError
+from repro.kernel.constants import O_RDONLY
+from repro.core.formats import dump_file_names
+from repro.apps.policy import HostLoad, make_policy
+from repro.net.loadd import (LOADD_PORT, MAX_CANDIDATES, SPOOL_DIR,
+                             LoadReport)
+from repro.programs.base import (parse_options, print_err, read_file,
+                                 write_all, write_file)
+from repro.programs.exitcodes import EX_FAIL, EX_OK
+
+USAGE = "usage: loadd [-i interval] [-n rounds] [-P policy] peer..."
+
+#: rounds a successful move keeps inflating the destination's view
+#: entry: the peer's own report reflects the arrival only after its
+#: next sample crosses the wire, and until then re-balancing against
+#: the stale count would re-trigger the same decision (the classic
+#: herd effect).  Two rounds cover sample + wire latency; an
+#: overestimate is safe — it only delays the next move by a round.
+SETTLE_ROUNDS = 2
+
+
+def loadd_main(argv, env):
+    options, positional = parse_options(argv, {"-i": True, "-n": True,
+                                               "-P": True})
+    if positional is None or not positional:
+        yield from print_err(USAGE)
+        return EX_FAIL
+    try:
+        interval = float(options["-i"]) if "-i" in options \
+            else (yield ("sysctl", "loadd_interval_s"))
+        rounds = int(options["-n"]) if "-n" in options \
+            else (yield ("sysctl", "loadd_rounds"))
+    except ValueError:
+        yield from print_err(USAGE)
+        return EX_FAIL
+    policy = yield from _build_policy(options.get("-P"))
+    if policy is None:
+        return EX_FAIL
+
+    yield ("hb_start",)
+    local = yield ("gethostname",)
+    peers = [host for host in positional if host != local]
+    yield ("mkdir", SPOOL_DIR, 0o755)  # EEXIST is fine
+    # the receiver owns the well-known port; detached, so it neither
+    # zombifies nor dies with this (finite-rounds) policy loop.  If a
+    # receiver is already bound it exits quietly.
+    yield ("spawn", "/bin/loadd-recv", ["loadd-recv"], None, True)
+
+    settling = {}  # destination -> rounds an in-flight move covers
+    for round_no in range(rounds):
+        yield ("sleep", interval)
+        yield from _drain_children()  # e.g. timed-out move relays
+        report = yield from _sample(local)
+        yield from write_file("%s/%s" % (SPOOL_DIR, local),
+                              report.pack())
+        yield from _broadcast(report, peers)
+        view = yield from _build_view(local, peers)
+        _apply_settling(view, settling)
+        landed = yield from _balance(policy, view, local, round_no)
+        for host in landed:
+            settling[host] = SETTLE_ROUNDS
+        yield ("perf_note", "ld_rounds")
+    return EX_OK
+
+
+def _apply_settling(view, settling):
+    """Account for this host's own in-flight moves in a fresh view."""
+    for host in list(settling):
+        if host in view:
+            entry = view[host]
+            view[host] = HostLoad(host, entry.runnable + 1,
+                                  entry.candidates)
+        settling[host] -= 1
+        if settling[host] <= 0:
+            del settling[host]
+
+
+def _build_policy(name):
+    """Instantiate the policy from argv/-P or the sysctl knobs."""
+    if name is None:
+        name = yield ("sysctl", "loadd_policy")
+    knobs = dict(
+        min_cpu_seconds=(yield ("sysctl", "loadd_min_cpu_s")),
+        max_moves_per_round=(yield ("sysctl", "loadd_max_moves")))
+    if name == "threshold":
+        knobs["imbalance_threshold"] = \
+            yield ("sysctl", "loadd_imbalance")
+    elif name == "watermark":
+        knobs["high_watermark"] = \
+            yield ("sysctl", "loadd_high_watermark")
+        knobs["low_watermark"] = \
+            yield ("sysctl", "loadd_low_watermark")
+    try:
+        return make_policy(name, **knobs)
+    except ValueError:
+        yield from print_err("loadd: unknown policy %r" % (name,))
+        return None
+
+
+def _sample(local):
+    """Snapshot this host's load as a LoadReport."""
+    now_s = yield ("time",)
+    rows = yield ("getproctab",)
+    jobs = [(row["pid"], row["utime_us"] + row["stime_us"])
+            for row in rows if row.get("vm") and row["state"] != "Z"]
+    candidates = sorted(jobs, key=lambda j: (-j[1], j[0]))
+    candidates = [(pid, cpu_us // 1000)
+                  for pid, cpu_us in candidates[:MAX_CANDIDATES]]
+    return LoadReport(local, now_s, len(jobs), candidates)
+
+
+def _broadcast(report, peers):
+    """Send the report to every peer not already suspected dead."""
+    for peer in peers:
+        suspected = yield ("hb_status", peer)
+        if suspected == 1:
+            yield ("perf_note", "ld_suspect_skips")
+            continue
+        fate = yield ("fault_point", "loadd.send", peer)
+        if iserr(fate):
+            yield ("perf_note", "ld_reports_dropped")
+            continue
+        blob = yield ("fault_data", "loadd.send", report.pack(), peer)
+        sock = yield ("socket",)
+        result = yield ("connect", sock, peer, LOADD_PORT)
+        if iserr(result):
+            yield ("close", sock)
+            yield ("perf_note", "ld_reports_dropped")
+            continue
+        result = yield from write_all(sock, blob)
+        yield ("close", sock)
+        if iserr(result):
+            yield ("perf_note", "ld_reports_dropped")
+        else:
+            yield ("perf_note", "ld_reports_sent")
+
+
+def _build_view(local, peers):
+    """The cluster load view from the spool, staleness-filtered."""
+    now_s = yield ("time",)
+    stale_s = yield ("sysctl", "load_stale_s")
+    view = {}
+    for host in [local] + peers:
+        if host != local:
+            suspected = yield ("hb_status", host)
+            if suspected == 1:
+                continue
+        path = "%s/%s" % (SPOOL_DIR, host)
+        data = yield from read_file(path)
+        if iserr(data):
+            continue  # no report from this peer yet
+        try:
+            report = LoadReport.unpack(data)
+        except UnixError:
+            report = None
+        if report is None or report.host != host:
+            yield ("unlink", path)  # corrupt or misfiled: toss it
+            yield ("perf_note", "ld_reports_dropped")
+            continue
+        if max(0, now_s - report.time_s) > stale_s:
+            yield ("perf_note", "ld_stale_drops")
+            continue
+        view[host] = HostLoad(
+            host=host, runnable=report.runnable,
+            candidates=tuple((pid, cpu_ms / 1000.0)
+                             for pid, cpu_ms in report.candidates))
+    return view
+
+
+def _balance(policy, view, local, round_no):
+    """One decision round: select and execute this host's moves.
+
+    Returns the destinations that received a job, so the caller can
+    inflate their view entries until their own reports catch up.
+    """
+    round_id = "%s:%d" % (local, round_no)
+    yield ("trace_span", "loadd", "B", round_id)
+    ok = 1
+    landed = []
+    for move in policy.select(view):
+        if move.source != local:
+            # only the owner dumps its own jobs: a decision about
+            # another host is that host's loadd's business
+            continue
+        yield ("trace_mark", "loadd", "move",
+               "%s:%d" % (local, move.pid))
+        moved = yield from _move_one(move.pid, move.destination,
+                                     local)
+        if moved:
+            yield ("perf_note", "ld_moves")
+            landed.append(move.destination)
+        else:
+            yield ("perf_note", "ld_move_failures")
+            ok = 0
+    yield ("trace_span", "loadd", "E", round_id, ok)
+    return landed
+
+
+def _move_one(pid, destination, local):
+    """dumpproc locally, restart remotely via migrationd.
+
+    A failed dump leaves the victim running (nothing to undo).  A
+    failed remote restart falls back to restarting the job *locally*
+    from the same dump, so the worst normal outcome of a move is the
+    status quo; only a host that dies mid-fallback can lose the job
+    (fail-stop, same as any crash).
+    """
+    child = yield ("spawn", "/bin/dumpproc",
+                   ["dumpproc", "-p", str(pid)])
+    if iserr(child):
+        return False
+    status = yield from _wait_for(child)
+    if status != EX_OK:
+        return False
+    dump_paths = dump_file_names(pid)
+
+    restart_cmd = "restart -k -p %d -h %s" % (pid, local)
+    runner = ["migrationd-run", destination, restart_cmd]
+    child = yield ("spawn", "/bin/migrationd-run", runner)
+    landed = yield from _await_ack(child, dump_paths[0])
+    if landed:
+        return True
+
+    # undo: bring the job back up where it was
+    child = yield ("spawn", "/bin/restart",
+                   ["restart", "-k", "-p", str(pid)])
+    landed = yield from _await_ack(child, dump_paths[0])
+    if not landed:
+        for path in dump_paths:
+            yield ("unlink", path)
+    return False
+
+
+def _await_ack(child, aout_path):
+    """Poll for the restart ack: the staged a.out disappearing."""
+    if iserr(child):
+        return False
+    poll_tries = yield ("sysctl0", "restart_poll_tries")
+    poll_sleep = yield ("sysctl0", "restart_poll_sleep_s")
+    for __ in range(max(1, poll_tries)):
+        fd = yield ("open", aout_path, O_RDONLY, 0)
+        if fd == -ENOENT:
+            return True  # rest_proc consumed the dump: it took
+        if not iserr(fd):
+            yield ("close", fd)
+        reaped = yield ("reap",)
+        if isinstance(reaped, tuple) and reaped[0] == child:
+            return False  # the restart (or its relay) died
+        yield ("sleep", poll_sleep)
+    return False
+
+
+def _drain_children():
+    """Reap finished children without blocking (a successful remote
+    restart leaves its migrationd-run relay to time out on the reply
+    sentinel — the relayed restart became the migrated process and
+    will never exit — so the relay dies a round or two later)."""
+    while True:
+        reaped = yield ("reap",)
+        if not isinstance(reaped, tuple):
+            return
+
+
+def _wait_for(child):
+    while True:
+        result = yield ("wait",)
+        if iserr(result):
+            return EX_FAIL
+        reaped, raw = result
+        if reaped == child:
+            return (raw >> 8) & 0xFF if not raw & 0x7F else EX_FAIL
+
+
+# -- the receiver -----------------------------------------------------------
+
+
+def loadd_recv_main(argv, env):
+    """Own the well-known port; spool one report per connection."""
+    sock = yield ("socket",)
+    result = yield ("bind", sock, LOADD_PORT)
+    if iserr(result):
+        return EX_OK  # a receiver is already running: nothing to do
+    yield ("listen", sock)
+    yield ("mkdir", SPOOL_DIR, 0o755)
+    timeout = yield ("sysctl", "net_read_timeout_s")
+    while True:
+        conn = yield ("accept", sock)
+        if iserr(conn):
+            yield ("sleep", 1)  # transient: don't spin hot
+            continue
+        blob = yield from _read_report(conn, timeout)
+        yield ("close", conn)
+        if blob is None:
+            yield ("perf_note", "ld_reports_dropped")
+            continue
+        fate = yield ("fault_point", "loadd.recv", "")
+        if iserr(fate):
+            yield ("perf_note", "ld_reports_dropped")
+            continue
+        blob = yield ("fault_data", "loadd.recv", blob, "")
+        try:
+            report = LoadReport.unpack(blob)
+        except UnixError:
+            report = None  # torn or doctored: drop, never crash
+        if report is None:
+            yield ("perf_note", "ld_reports_dropped")
+            continue
+        yield from write_file("%s/%s" % (SPOOL_DIR, report.host),
+                              blob)
+        yield ("perf_note", "ld_reports_recv")
+
+
+def _read_report(conn, timeout):
+    """Read one connection to EOF (bounded); None on timeout/error."""
+    from repro.errors import ETIMEDOUT
+    parts = []
+    total = 0
+    while total <= 4096:  # reports are tiny; don't buffer a firehose
+        data = yield ("read_timeout", conn, 1024, timeout)
+        if data == -ETIMEDOUT:
+            yield ("perf_note", "timeouts")
+            return None
+        if iserr(data):
+            return None
+        if data == b"":
+            return b"".join(parts) if parts else None
+        parts.append(data)
+        total += len(data)
+    return None

@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.apps import (CheckpointManager, LoadBalancer,
-                        LoadBalancerPolicy, NightBatchScheduler)
+from repro.apps import (CheckpointManager, HostLoad, LoadBalancer,
+                        LoadBalancerPolicy, Move,
+                        NightBatchScheduler)
 from repro.core.api import MigrationSite
 from repro.programs.guest.cpuhog import expected_checksum
 from tests.conftest import start_counter
@@ -176,6 +177,95 @@ def test_balancing_improves_makespan():
     unbalanced = run_one(False)
     balanced = run_one(True)
     assert balanced < unbalanced * 0.75
+
+
+# -- policy edge cases (pure, no site) ---------------------------------------
+
+
+def _view(*entries):
+    """Build an insertion-ordered view from (host, runnable, jobs)."""
+    return {host: HostLoad(host, runnable, tuple(jobs))
+            for host, runnable, jobs in entries}
+
+
+def test_policy_tie_breaking_prefers_the_first_listed_host():
+    """Equally-busy hosts: the one listed first in the view sheds;
+    flipping the view order flips the decision — deterministic, no
+    RNG, no clock."""
+    policy = LoadBalancerPolicy(min_cpu_seconds=0.0)
+    brick = ("brick", 3, [(1, 1.0), (2, 2.0), (3, 3.0)])
+    schooner = ("schooner", 3, [(4, 1.0)])
+    idle = ("brador", 0, [])
+    # the busiest candidate (most CPU) of the first-listed host moves
+    assert policy.select(_view(brick, schooner, idle)) == \
+        [Move(3, "brick", "brador")]
+    assert policy.select(_view(schooner, brick, idle)) == \
+        [Move(4, "schooner", "brador")]
+    # equally-idle destinations tie-break the same way
+    two_idle = _view(brick, ("x", 0, []), ("y", 0, []))
+    assert policy.select(two_idle) == [Move(3, "brick", "x")]
+
+
+def test_policy_min_cpu_seconds_boundary():
+    """Exactly at the floor is eligible; a hair below is not."""
+    policy = LoadBalancerPolicy(min_cpu_seconds=0.5)
+    at_floor = _view(("brick", 2, [(1, 0.5), (2, 0.499)]),
+                     ("schooner", 0, []))
+    assert policy.select(at_floor) == [Move(1, "brick", "schooner")]
+    below = _view(("brick", 2, [(1, 0.499), (2, 0.3)]),
+                  ("schooner", 0, []))
+    assert policy.select(below) == []
+
+
+def test_policy_zero_threshold_never_churns():
+    """imbalance_threshold=0 must not ping-pong jobs between equally
+    (or nearly equally) busy hosts: a move still has to strictly
+    improve the spread."""
+    policy = LoadBalancerPolicy(min_cpu_seconds=0.0,
+                                imbalance_threshold=0,
+                                max_moves_per_round=8)
+    equal = _view(("brick", 2, [(1, 1.0), (2, 1.0)]),
+                  ("schooner", 2, [(3, 1.0), (4, 1.0)]))
+    assert policy.select(equal) == []
+    off_by_one = _view(("brick", 2, [(1, 1.0), (2, 1.0)]),
+                       ("schooner", 1, [(3, 1.0)]))
+    assert policy.select(off_by_one) == []
+    # ...but a real spread still gets balanced
+    lopsided = _view(("brick", 2, [(1, 1.0), (2, 1.0)]),
+                     ("schooner", 0, []))
+    assert policy.select(lopsided) == [Move(1, "brick", "schooner")]
+
+
+def test_policy_max_moves_per_round_saturation():
+    """A big allowance stops at the useful spread; a small one stops
+    at the allowance."""
+    jobs = [(pid, float(pid)) for pid in range(1, 7)]
+    lopsided = _view(("brick", 6, jobs), ("schooner", 0, []))
+    greedy = LoadBalancerPolicy(min_cpu_seconds=0.0,
+                                max_moves_per_round=10)
+    moves = greedy.select(lopsided)
+    # 6/0 -> 5/1 -> 4/2 -> 3/3: the fourth move would not improve
+    assert len(moves) == 3
+    assert [m.pid for m in moves] == [6, 5, 4]  # busiest first
+    capped = LoadBalancerPolicy(min_cpu_seconds=0.0,
+                                max_moves_per_round=2)
+    assert len(capped.select(lopsided)) == 2
+    none = LoadBalancerPolicy(min_cpu_seconds=0.0,
+                              max_moves_per_round=0)
+    assert none.select(lopsided) == []
+
+
+def test_balancer_zero_threshold_leaves_equal_site_alone(site):
+    """Integration flavor of the no-churn rule: a live balanced site
+    with threshold 0 produces no moves."""
+    start_counter(site, host="brick")
+    start_counter(site, host="schooner")
+    balancer = LoadBalancer(
+        site, ["brick", "schooner"], uid=100,
+        policy=LoadBalancerPolicy(min_cpu_seconds=0.0,
+                                  imbalance_threshold=0))
+    assert balancer.step() == []
+    assert balancer.loads() == {"brick": 1, "schooner": 1}
 
 
 # -- night batch ------------------------------------------------------------------------

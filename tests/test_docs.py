@@ -17,6 +17,7 @@ _MAN_BINARIES = {
     "recoveryd.8.md": "recoveryd",
     "sh.1.md": "sh",
     "migstat.1.md": "migstat",
+    "loadd.8.md": "loadd",
 }
 
 

@@ -478,6 +478,167 @@ def test_reboot_then_rejoin():
     assert summaries["scan"] == summaries["fast"]
 
 
+# -- loadd chaos: the balancing daemon under report loss, delays, -----------
+#    crashes and partitions (DESIGN.md section 11).  Every scenario
+#    runs under BOTH engines with byte-identical summaries, and the
+#    exactly-one-live-copy invariant holds for every job: however the
+#    reports are lost or mangled, no job is ever duplicated, and none
+#    is lost short of a host crash.
+
+
+LOADD_CHAOS_KNOBS = dict(loadd_interval_s=1.0, loadd_min_cpu_s=0.1,
+                         connect_timeout_s=2.0, **FAST_KNOBS)
+
+#: iterations that keep a cpuhog alive past every scenario cutoff
+LOADD_HOG_ITERS = 5_000_000
+
+
+def _loadd_scenario(engine, spec, rounds=8, heal_after_us=None):
+    site = MigrationSite(costs=CostModel(**LOADD_CHAOS_KNOBS),
+                         engine=engine)
+    site.cluster.tracer.enable(*(TRACE_CATEGORIES + ("loadd",)))
+    site.run_quiet()
+    jobs = [site.start("brick", "/bin/cpuhog",
+                       ["cpuhog", str(LOADD_HOG_ITERS)], uid=100)
+            for __ in range(3)]
+    plan = site.cluster.inject_faults(spec, seed=4321)
+    handles = site.start_loadd(rounds=rounds)
+    if heal_after_us is not None:
+        site.run(until_us=site.cluster.wall_time_us() + heal_after_us,
+                 max_steps=120_000_000)
+        site.cluster.heal()
+    names = ("brick", "schooner")
+    site.run_until(
+        lambda: all(h.exited for h, n in zip(handles, names)
+                    if site.machine(n).running),
+        max_steps=120_000_000)
+    # a bounded drain window lets in-flight restarts and relays land;
+    # the hogs outlive all of it, so live copies are countable
+    site.run(until_us=site.cluster.wall_time_us() + 3_000_000,
+             max_steps=120_000_000)
+    return site, jobs, plan, handles
+
+
+def _job_copies(site, jobs):
+    """Where each original job is live right now: still a cpuhog
+    under its own pid on brick, or a restarted ``a.out<pid>`` on any
+    surviving host (loadd and its local-restart fallback both keep
+    the original pid in the image name)."""
+    copies = {h.pid: [] for h in jobs}
+    for name in ("brick", "schooner", "brador"):
+        machine = site.machine(name)
+        if not machine.running:
+            continue
+        for proc in machine.kernel.procs.all_procs():
+            if not proc.is_vm() or proc.zombie():
+                continue
+            if (name == "brick" and proc.command == "cpuhog"
+                    and proc.pid in copies):
+                copies[proc.pid].append(name)
+            elif proc.command.startswith("a.out"):
+                try:
+                    orig = int(proc.command[len("a.out"):])
+                except ValueError:
+                    continue
+                if orig in copies:
+                    copies[orig].append(name)
+    return {pid: tuple(hosts) for pid, hosts in copies.items()}
+
+
+def _summarize_loadd(site, jobs, plan, handles):
+    perf = site.cluster.perf
+    snapshot = perf.snapshot()
+    return {
+        "statuses": tuple(h.exit_status if h.exited else None
+                          for h in handles),
+        "copies": _job_copies(site, jobs),
+        "alive": tuple(n for n in ("brick", "schooner", "brador")
+                       if site.machine(n).running),
+        "fired": plan.fired(),
+        "ld": {k: v for k, v in snapshot.items()
+               if k.startswith("ld_")},
+        "host_crashes": perf.host_crashes,
+        "net_partitions": perf.net_partitions,
+        "fault_delay_us": perf.fault_delay_us,
+        "clocks_us": tuple(site.machine(n).clock.now_us
+                           for n in ("brick", "schooner", "brador")),
+        "consoles": tuple(site.console(n)
+                          for n in ("brick", "schooner")),
+        "trace_jsonl": site.cluster.tracer.to_jsonl(),
+    }
+
+
+def _loadd_engines_agree(run):
+    summaries = {}
+    for engine in ("scan", "fast"):
+        summaries[engine] = run(engine)
+    assert summaries["scan"] == summaries["fast"], "engines disagree"
+    return summaries["fast"]
+
+
+def test_loadd_chaos_report_loss_leaves_jobs_in_place():
+    """Every report is lost: each daemon only ever sees itself, so no
+    moves happen and every job stays exactly where it was."""
+    summary = _loadd_engines_agree(
+        lambda engine: _summarize_loadd(*_loadd_scenario(
+            engine, "loadd.send fail n=*")))
+    assert summary["statuses"] == (0, 0)
+    assert all(hosts == ("brick",)
+               for hosts in summary["copies"].values())
+    assert summary["ld"]["ld_moves"] == 0
+    assert summary["ld"]["ld_reports_sent"] == 0
+    assert summary["ld"]["ld_reports_dropped"] == 16  # 8 rounds x 2
+    assert ("loadd.send", "fail", 16) in summary["fired"]
+
+
+def test_loadd_chaos_delayed_reports_still_balance():
+    """Delivery delays shift the rounds but the view still forms:
+    exactly one job moves, none is lost or duplicated."""
+    summary = _loadd_engines_agree(
+        lambda engine: _summarize_loadd(*_loadd_scenario(
+            engine, "loadd.recv delay n=4 delay=0.4")))
+    assert summary["statuses"] == (0, 0)
+    assert summary["ld"]["ld_moves"] == 1
+    assert summary["ld"]["ld_move_failures"] == 0
+    assert summary["fault_delay_us"] == 4 * 400_000
+    placements = sorted(summary["copies"].values())
+    assert placements == [("brick",), ("brick",), ("schooner",)]
+
+
+def test_loadd_chaos_host_crash_mid_balance():
+    """The destination dies at the first report exchange: no report
+    ever crosses, so nothing moves toward the corpse; the failure
+    detector kicks in and the jobs all survive at home."""
+    summary = _loadd_engines_agree(
+        lambda engine: _summarize_loadd(*_loadd_scenario(
+            engine, "loadd.send crash n=1 target=schooner")))
+    assert summary["alive"] == ("brick", "brador")
+    assert summary["host_crashes"] == 1
+    assert summary["ld"]["ld_moves"] == 0
+    assert summary["ld"]["ld_suspect_skips"] >= 1
+    assert all(hosts == ("brick",)
+               for hosts in summary["copies"].values())
+    # brick's daemon finished its rounds despite the dead peer
+    assert summary["statuses"][0] == 0
+
+
+def test_loadd_chaos_partition_then_heal_balances_late():
+    """A partition cuts the report flow mid-run; after heal() the
+    reports resume and the overdue balance lands — exactly one copy
+    of every job throughout."""
+    summary = _loadd_engines_agree(
+        lambda engine: _summarize_loadd(*_loadd_scenario(
+            engine,
+            "loadd.send partition n=1 host=brick peer=schooner",
+            rounds=12, heal_after_us=6_000_000)))
+    assert summary["statuses"] == (0, 0)
+    assert summary["alive"] == ("brick", "schooner", "brador")
+    assert summary["net_partitions"] == 1
+    assert summary["ld"]["ld_moves"] == 1
+    placements = sorted(summary["copies"].values())
+    assert placements == [("brick",), ("brick",), ("schooner",)]
+
+
 def test_double_recovery_race_partition_then_heal():
     """The exactly-once guarantee: a partitioned-away recovery daemon
     claims the job with a higher epoch; the home ckptd sees the claim

@@ -1,14 +1,17 @@
-"""Property-based round-trip tests for the dump file formats.
+"""Property-based round-trip tests for the wire and dump formats.
 
-Seeded ``random`` generation, no extra dependencies: ~200 randomized
-FilesInfo/StackInfo instances must survive pack → unpack → pack with
-byte-identical output, and damaged blobs (truncations, bad magic,
-bad entry kinds) must raise :class:`UnixError` cleanly rather than
-crash with an IndexError/struct.error — restart and dumpproc parse
-these files from NFS and must fail predictably on a torn read.
+Seeded ``random`` generation, no extra dependencies: ~300 randomized
+FilesInfo/StackInfo/LoadReport instances must survive pack → unpack
+→ pack with byte-identical output, and damaged blobs (truncations,
+bad magic, bad entry kinds, bad versions) must raise
+:class:`UnixError` cleanly rather than crash with an
+IndexError/struct.error — restart and dumpproc parse dump files from
+NFS, and loadd-recv parses LOADREPORTs straight off the network, so
+all of them must fail predictably on torn or hostile input.
 """
 
 import random
+import struct
 
 import pytest
 
@@ -20,9 +23,11 @@ from repro.kernel.signals import (NSIG, SIG_DFL, SIG_IGN, SIGKILL,
 from repro.core.formats import (FdEntry, FilesInfo, StackInfo,
                                 FD_FILE, FD_SOCKET, FD_SOCKET_BOUND,
                                 FD_UNUSED)
+from repro.net.loadd import (LOADREPORT_VERSION, MAX_CANDIDATES,
+                             LoadReport)
 from repro.vm.image import Registers
 
-CASES = 100  # per format: 200 round-trips in all
+CASES = 100  # per format: 300 round-trips in all
 
 
 def _random_text(rng, max_len=40):
@@ -79,6 +84,17 @@ def _random_stack_info(rng):
                      sigstate=sigstate)
 
 
+def _random_load_report(rng):
+    count = rng.randrange(0, MAX_CANDIDATES + 1)
+    candidates = [(rng.randrange(1, 1 << 15),
+                   rng.randrange(0, 1 << 31))
+                  for __ in range(count)]
+    return LoadReport(host=_random_text(rng, 16),
+                      time_s=rng.randrange(0, 1 << 31),
+                      runnable=rng.randrange(0, 1 << 16),
+                      candidates=candidates)
+
+
 # -- round trips -----------------------------------------------------------
 
 
@@ -110,6 +126,20 @@ def test_stack_info_roundtrip_bytes_identical():
         # peek_header agrees with the full parse
         cred, size = StackInfo.peek_header(blob)
         assert cred == info.cred and size == info.stack_size
+
+
+def test_load_report_roundtrip_bytes_identical():
+    rng = random.Random(0x10AD)
+    for case in range(CASES):
+        report = _random_load_report(rng)
+        blob = report.pack()
+        back = LoadReport.unpack(blob)
+        assert back.pack() == blob, "case %d not byte-identical" % case
+        assert back == report
+        assert back.host == report.host
+        assert back.time_s == report.time_s
+        assert back.runnable == report.runnable
+        assert back.candidates == report.candidates
 
 
 # -- damage must fail cleanly -----------------------------------------------
@@ -159,6 +189,50 @@ def test_bad_entry_kind_raises_cleanly():
         FilesInfo.unpack(damaged)
 
 
+def test_load_report_truncations_raise_cleanly():
+    rng = random.Random(0x7A0E)
+    blob = _random_load_report(rng).pack()
+    cuts = set(range(len(blob)))  # reports are small: cut everywhere
+    for cut in sorted(cuts):
+        with pytest.raises(UnixError):
+            LoadReport.unpack(blob[:cut])
+
+
+def test_load_report_bad_magic_raises_cleanly():
+    blob = LoadReport("brick", 10, 2, [(3, 1500)]).pack()
+    for mangled in (b"\x00\x00", b"\xff\xff"):
+        with pytest.raises(UnixError):
+            LoadReport.unpack(mangled + blob[2:])
+
+
+def test_load_report_unknown_version_raises_cleanly():
+    """A future (or corrupted) version byte is rejected up front, so
+    a format bump can never be misparsed as today's layout."""
+    blob = LoadReport("brick", 10, 2, [(3, 1500)]).pack()
+    assert blob[2] == LOADREPORT_VERSION
+    for version in (0, LOADREPORT_VERSION + 1, 0xFF):
+        doctored = blob[:2] + bytes((version,)) + blob[3:]
+        with pytest.raises(UnixError):
+            LoadReport.unpack(doctored)
+
+
+def test_load_report_candidate_overflow_rejected():
+    # at construction...
+    with pytest.raises(UnixError):
+        LoadReport("brick", 10, 2,
+                   [(pid, 100)
+                    for pid in range(MAX_CANDIDATES + 1)])
+    # ...and in a doctored blob claiming more entries than allowed
+    report = LoadReport("brick", 10, 2, [(3, 1500)])
+    blob = report.pack()
+    count_at = 2 + 1 + (2 + len(report.host)) + 4 + 2
+    doctored = (blob[:count_at]
+                + struct.pack("<H", MAX_CANDIDATES + 1)
+                + blob[count_at + 2:])
+    with pytest.raises(UnixError):
+        LoadReport.unpack(doctored)
+
+
 def test_uncatchable_handlers_sanitized_on_unpack():
     """A doctored dump claiming a SIGKILL handler is defanged."""
     info = _random_stack_info(random.Random(0x51C))
@@ -173,3 +247,5 @@ def test_empty_and_garbage_blobs_raise_cleanly():
             FilesInfo.unpack(blob)
         with pytest.raises(UnixError):
             StackInfo.unpack(blob)
+        with pytest.raises(UnixError):
+            LoadReport.unpack(blob)

@@ -269,4 +269,5 @@ def test_every_flat_counter_is_documented():
 def test_all_emission_categories_are_known():
     assert CATEGORIES == {"syscall", "signal", "sched", "net.msg",
                           "net.sock", "fault", "hb", "dump",
-                          "restart", "migrate", "recovery", "chunk"}
+                          "restart", "migrate", "recovery", "chunk",
+                          "loadd"}
