@@ -425,3 +425,16 @@ def dump_file_names(pid, directory=DUMPDIR):
     return ("%s/a.out%d" % (directory, pid),
             "%s/files%d" % (directory, pid),
             "%s/stack%d" % (directory, pid))
+
+
+#: the archived-dump files of a ledgered migration, in the same
+#: (a.out, files, stack) order as ``dump_file_names``; each holds a
+#: packed :class:`ChunkManifest` whose payloads live in the cluster
+#: chunk store (DESIGN.md section 12)
+LEDGER_ARCHIVE_KINDS = ("aout", "files", "stack")
+
+
+def ledger_archive_names(directory):
+    """The three chunk-manifest archive paths of one ledger record."""
+    return tuple("%s/dump.%s" % (directory, kind)
+                 for kind in LEDGER_ARCHIVE_KINDS)

@@ -125,6 +125,25 @@ class CostModel:
     recovery_interval_s: float = 2.0  #: recoveryd scan period
     recovery_rounds: int = 10  #: recoveryd scans before exiting
 
+    # --- migration intent ledger (DESIGN.md section 12, not costs) ------
+    #: crash-atomic migrations: migrate writes an intent record to the
+    #: shared ledger directory before SIGDUMP, the kernel archives the
+    #: dump through the chunk store, and ``recoveryd -m`` sweeps stale
+    #: in-flight records to exactly-once completion.  Opt-in: with the
+    #: switch off (the default) no ledger syscall is ever issued, so
+    #: default-mode figures and traces stay byte-identical.
+    migration_ledger: bool = False
+    #: the shared ledger directory; lives *outside* /tmp and /usr/tmp
+    #: on purpose, so a file-server reboot cannot wipe the ledger
+    migration_ledger_dir: str = "/n/brador/usr/spool/migledger"
+    #: a record whose last phase write is older than this is fair game
+    #: for the sweep even if its orchestrator is not (yet) suspected
+    #: (an orchestrator *process* can die without taking its host
+    #: down).  Must comfortably exceed the longest phase a healthy
+    #: migrate can spend between advances — with default knobs that is
+    #: the full restart retry budget, well under a minute
+    ledger_stale_s: float = 120.0
+
     # --- loadd load balancing (DESIGN.md section 11, not costs) ---------
     #: policy knobs read by the loadd daemon via ``sysctl``.  All of
     #: them are inert until a loadd is actually spawned — the daemon

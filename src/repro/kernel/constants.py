@@ -69,3 +69,5 @@ STACK_CHUNK_MAGIC = 0o443
 CHUNK_MAGIC = 0o446
 #: the loadd LOADREPORT wire format (DESIGN.md section 11)
 LOADREPORT_MAGIC = 0o447
+#: the migration intent-ledger record format (DESIGN.md section 12)
+MIGLEDGER_MAGIC = 0o450

@@ -86,6 +86,13 @@ class DumpSupport:
                 written.append(path)
             self._verify_dump(inodes[aout_path], inodes[files_path],
                               inodes[stack_path])
+            recdir = getattr(proc, "ledger_dir", None)
+            if recdir:
+                # a ledgered dump (dumpproc -L) is also archived
+                # through the chunk store, inside the same
+                # all-or-nothing window: no archive, no dump
+                self._archive_dump(proc, recdir,
+                                   (aout_blob, files_blob, stack_blob))
         except UnixError as err:
             # all-or-nothing: a partial dump is worse than none
             for path in written:
@@ -154,6 +161,49 @@ class DumpSupport:
             # deterministically, not when the GC gets around to it
             for view in views:
                 view.release()
+
+    def _archive_dump(self, proc, recdir, blobs):
+        """Archive the three dump blobs into a ledger record directory.
+
+        Each blob is chunked into the cluster chunk store (which
+        survives host crashes *and* reboots) and described by a
+        :class:`~repro.core.formats.ChunkManifest` file in ``recdir``
+        on the file server; the ``dump.ok`` commit marker is written
+        strictly last, so a record directory either holds a complete,
+        restorable archive or no usable one at all.  Any failure
+        unlinks the partial archive and propagates — the surrounding
+        all-or-nothing dump then fails too and the victim survives.
+        """
+        from repro.core.formats import ChunkManifest, ledger_archive_names
+        store = self.machine.cluster.chunk_store
+        chunk_bytes = max(1, int(self.costs.dump_chunk_bytes))
+        written = []
+        try:
+            for path, blob in zip(ledger_archive_names(recdir), blobs):
+                digests = []
+                for start in range(0, len(blob), chunk_bytes):
+                    chunk = blob[start:start + chunk_bytes]
+                    digest = store.digest(self, chunk)
+                    store.put(self, digest, chunk)
+                    digests.append(digest)
+                manifest = ChunkManifest(chunk_bytes, len(blob), digests)
+                self.fault_check("ledger.archive", path)
+                self.charge(self.costs.dump_pack_us, proc=proc)
+                self.kwrite_file(proc, path, manifest.pack(), mode=0o644)
+                written.append(path)
+            # the commit marker ("dump.ok", matching migledger.OK_NAME
+            # — the kernel cannot import repro.net) goes last
+            ok_path = "%s/dump.ok" % recdir
+            self.fault_check("ledger.archive", ok_path)
+            self.kwrite_file(proc, ok_path, b"ok\n", mode=0o644)
+        except UnixError:
+            for path in written:
+                self._kunlink_quiet(proc, path)
+            raise
+        self.machine.cluster.perf.ml_archives += 1
+        if self.tracer.enabled:
+            self.tracer.emit("dump", "archive", self.machine,
+                             pid=proc.pid)
 
     def _kunlink_quiet(self, proc, path):
         """Best-effort unlink during failure cleanup."""

@@ -73,6 +73,9 @@ class Proc:
         self.term_signal = None
         #: set when the process was killed by SIGDUMP and dumped
         self.dumped = False
+        #: ledger record directory armed by dump_ledger(): the next
+        #: SIGDUMP also archives the dump through the chunk store
+        self.ledger_dir = None
         #: CPU accounting, microseconds
         self.utime_us = 0.0
         self.stime_us = 0.0

@@ -25,6 +25,7 @@ _FAULT_SIGNALS = {"ill": sig_mod.SIGILL, "segv": sig_mod.SIGSEGV,
 _SYSCTL0_KNOBS = frozenset({
     "dump_poll_tries", "dump_poll_sleep_s",
     "restart_poll_tries", "restart_poll_sleep_s",
+    "migration_ledger", "migration_ledger_dir", "ledger_stale_s",
 })
 
 

@@ -143,13 +143,17 @@ class MiscSyscalls:
         return value
 
     #: perf counters user commands may bump via ``perf_note``: the
-    #: pipeline-hardening trio plus loadd's ``ld_*`` family.  The
-    #: engine counters stay kernel-private.
+    #: pipeline-hardening trio, loadd's ``ld_*`` family and the
+    #: migration ledger's ``ml_*`` family (``ml_archives`` stays
+    #: kernel-private — only the dump writer archives).  The engine
+    #: counters stay kernel-private.
     _PERF_NOTE_COUNTERS = frozenset({
         "retries", "timeouts", "recoveries",
         "ld_reports_sent", "ld_reports_recv", "ld_reports_dropped",
         "ld_stale_drops", "ld_suspect_skips", "ld_rounds",
         "ld_moves", "ld_move_failures",
+        "ml_records", "ml_advances", "ml_claims", "ml_completions",
+        "ml_aborts", "ml_sweeps", "ml_reaps",
     })
 
     def sys_perf_note(self, proc, counter, amount=1):
@@ -236,31 +240,74 @@ class MiscSyscalls:
         self.charge(self.costs.filetable_op_us * max(1, len(rows)))
         return rows
 
-    # -- userland fault sites (loadd) ----------------------------------------
+    # -- userland fault sites (loadd, the migration ledger) ------------------
+
+    #: userland site namespaces: daemons and tools coded as native
+    #: programs may evaluate sites here, but cannot spoof kernel sites
+    _FAULT_NAMESPACES = ("loadd.", "ledger.")
 
     def sys_fault_point(self, proc, site, detail=""):
         """Evaluate a *userland* fault-injection site.
 
         Daemons coded as native programs have no kernel write path of
         their own to hang fault sites on, so this call lets them ask
-        the injector directly — restricted to the ``loadd.`` site
-        namespace so userland cannot spoof kernel sites.  Armed fail
-        rules surface as the rule's errno; delay/crash/partition
-        behave exactly as at kernel sites.
+        the injector directly — restricted to the ``loadd.`` and
+        ``ledger.`` site namespaces so userland cannot spoof kernel
+        sites.  Armed fail rules surface as the rule's errno;
+        delay/crash/partition behave exactly as at kernel sites.
         """
-        if not isinstance(site, str) or not site.startswith("loadd."):
+        if not isinstance(site, str) \
+                or not site.startswith(self._FAULT_NAMESPACES):
             raise UnixError(EINVAL, "fault_point %r" % (site,))
         self.fault_check(site, str(detail))
         return 0
 
     def sys_fault_data(self, proc, site, data, detail=""):
         """Pass a userland blob through a data fault site (corrupt
-        rules); same ``loadd.`` namespace restriction."""
-        if not isinstance(site, str) or not site.startswith("loadd."):
+        rules); same namespace restriction as ``fault_point``."""
+        if not isinstance(site, str) \
+                or not site.startswith(self._FAULT_NAMESPACES):
             raise UnixError(EINVAL, "fault_data %r" % (site,))
         if not isinstance(data, (bytes, bytearray)):
             raise UnixError(EINVAL, "fault_data needs bytes")
         return self.fault_filter(site, bytes(data), str(detail))
+
+    # -- migration intent ledger (DESIGN.md section 12) ----------------------
+
+    def sys_dump_ledger(self, proc, pid, recdir):
+        """Arm ledgered dumping for ``pid``.
+
+        ``dumpproc -L`` calls this before sending SIGDUMP; the
+        victim's next dump is then also archived through the cluster
+        chunk store into ``recdir`` (manifests + the ``dump.ok``
+        commit marker), inside the dump's all-or-nothing window.  Same
+        permission rule as kill(): only the superuser or the owner.
+        """
+        from repro.kernel.constants import SZOMB
+        if not isinstance(recdir, str) or not recdir.startswith("/"):
+            raise UnixError(EINVAL, "dump_ledger dir %r" % (recdir,))
+        target = self.procs.lookup(pid)
+        if target is None or target.state == SZOMB:
+            raise UnixError(ESRCH, "pid %d" % pid)
+        if not proc.user.cred.can_signal(target.user.cred):
+            from repro.errors import EPERM
+            raise UnixError(EPERM, "dump_ledger %d" % pid)
+        target.ledger_dir = recdir
+        return 0
+
+    def sys_store_get(self, proc, digest):
+        """Fetch one chunk from the cluster chunk store by digest.
+
+        The read half of the ledger archive: the recovery sweep
+        reassembles an archived dump from its manifests without any
+        kernel dump state.  Charged like any other chunk fetch (local
+        or NFS rates, end-to-end digest check).
+        """
+        from repro.store import DIGEST_BYTES
+        if not isinstance(digest, (bytes, bytearray)) \
+                or len(digest) != DIGEST_BYTES:
+            raise UnixError(EINVAL, "store_get digest %r" % (digest,))
+        return self.machine.cluster.chunk_store.get(self, bytes(digest))
 
     # -- heartbeat failure detector ------------------------------------------
 

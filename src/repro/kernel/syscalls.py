@@ -307,6 +307,7 @@ _NATIVE_SIMPLE = {
     "read_timeout", "reap", "sysctl", "perf_note", "hb_start",
     "hb_status", "readdir", "trace_status", "trace_mark",
     "trace_span", "migstat", "fault_point", "fault_data",
+    "dump_ledger", "store_get",
 }
 
 

@@ -21,11 +21,18 @@ reply read with a timeout, so a daemon that dies before emitting the
 
 from repro.errors import iserr, ETIMEDOUT
 from repro.programs.base import LineReader, print_err, write_all
-from repro.programs.exitcodes import EX_FAIL, EX_TRANSIENT
+from repro.programs.exitcodes import EX_FAIL, EX_REJECTED, EX_TRANSIENT
 
 MIGRATIOND_PORT = 515
 
 _SENTINEL = b"\x00EXIT:"
+
+#: commands the helper will spawn.  The daemon performs no
+#: authentication, so relaying arbitrary binaries would hand any
+#: network peer a shell on this host; only the migration pipeline's
+#: own helpers are permitted.  (``kill`` is the killprog module —
+#: installed as ``/bin/kill``.)
+_ALLOWED = ("dumpproc", "restart", "kill", "ps")
 
 
 def migrationd_main(argv, env):
@@ -63,6 +70,12 @@ def migrationd_helper_main(argv, env):
         yield from write_all(1, _SENTINEL + b"1\n")
         return 1
     words = line[4:].split()
+    if not words or words[0] not in _ALLOWED:
+        what = words[0] if words else "(empty)"
+        yield from write_all(1, b"migrationd: %s: not permitted\n"
+                             % what.encode("latin-1"))
+        yield from write_all(1, _SENTINEL + b"%d\n" % EX_REJECTED)
+        return EX_REJECTED
     child = yield ("spawn", "/bin/%s" % words[0], words, 0)
     if iserr(child):
         yield from write_all(1, _SENTINEL + b"1\n")

@@ -64,6 +64,14 @@ COUNTER_DOCS = {
     "ld_moves": "jobs loadd migrated successfully",
     "ld_move_failures": "loadd moves that failed (victim restored "
                         "or lost)",
+    "ml_records": "migration intent records written to the ledger",
+    "ml_advances": "ledger phase advances written",
+    "ml_claims": "sweep fences (claim files) created on records",
+    "ml_archives": "ledgered dumps archived through the chunk store",
+    "ml_completions": "migrations marked DONE by their orchestrator",
+    "ml_aborts": "migrations aborted or rolled back to their source",
+    "ml_sweeps": "in-flight records resolved by the recovery sweep",
+    "ml_reaps": "settled ledger records reaped",
 }
 
 #: the labelled metrics the subsystems record into ``perf.metrics``
@@ -167,6 +175,15 @@ class PerfCounters:
         self.ld_rounds = 0  #: balance rounds completed
         self.ld_moves = 0  #: jobs migrated by loadd
         self.ld_move_failures = 0  #: failed loadd moves
+        # migration intent ledger
+        self.ml_records = 0  #: intent records written
+        self.ml_advances = 0  #: phase advances written
+        self.ml_claims = 0  #: sweep fences created
+        self.ml_archives = 0  #: ledgered dumps archived
+        self.ml_completions = 0  #: migrations marked DONE by migrate
+        self.ml_aborts = 0  #: migrations aborted / rolled back
+        self.ml_sweeps = 0  #: records resolved by the sweep
+        self.ml_reaps = 0  #: settled records reaped
         #: labelled counters and virtual-time histograms (per-host,
         #: per-phase statistics the flat counters cannot express)
         self.metrics = MetricsRegistry()
@@ -262,6 +279,14 @@ class PerfCounters:
             "ld_rounds": self.ld_rounds,
             "ld_moves": self.ld_moves,
             "ld_move_failures": self.ld_move_failures,
+            "ml_records": self.ml_records,
+            "ml_advances": self.ml_advances,
+            "ml_claims": self.ml_claims,
+            "ml_archives": self.ml_archives,
+            "ml_completions": self.ml_completions,
+            "ml_aborts": self.ml_aborts,
+            "ml_sweeps": self.ml_sweeps,
+            "ml_reaps": self.ml_reaps,
             "metrics": self.metrics.snapshot(),
         }
         if elapsed_s is not None:

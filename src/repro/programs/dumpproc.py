@@ -50,11 +50,11 @@ from repro.vm.aout import AOUT_MAGIC
 POLL_TRIES = 10
 POLL_SLEEP_SECONDS = 1
 
-USAGE = "usage: dumpproc -p pid"
+USAGE = "usage: dumpproc -p pid [-L recdir]"
 
 
 def dumpproc_main(argv, env):
-    opts, __ = parse_options(argv, {"-p": True})
+    opts, __ = parse_options(argv, {"-p": True, "-L": True})
     if not isinstance(opts, dict) or "-p" not in opts:
         yield from print_err(USAGE)
         return EX_FAIL
@@ -65,6 +65,17 @@ def dumpproc_main(argv, env):
         return EX_FAIL
 
     aout_path, files_path, stack_path = dump_file_names(pid)
+
+    recdir = opts.get("-L")
+    if recdir:
+        # ledgered dump (DESIGN.md section 12): arm the kernel so the
+        # SIGDUMP below also archives through the chunk store.  ESRCH
+        # falls through to the idempotent already-dumped pickup.
+        result = yield ("dump_ledger", pid, recdir)
+        if iserr(result) and result != -ESRCH:
+            yield from print_err("dumpproc: cannot ledger %d: %s"
+                                 % (pid, errno_name(-result)))
+            return EX_FAIL
 
     result = yield ("kill", pid, SIGDUMP)
     if iserr(result):

@@ -19,6 +19,9 @@ decide between retrying and giving up:
   rounds; the last saved round is intact and announced on stderr.
 * ``EX_FENCED`` — a recovery daemon claimed this job with a higher
   epoch; the local copy killed itself rather than run twice.
+* ``EX_REJECTED`` — the remote daemon refused the request outright
+  (``migrationd`` only relays its allowlisted helpers).  Retrying
+  the same request cannot help.
 """
 
 EX_OK = 0
@@ -28,3 +31,4 @@ EX_TRANSIENT = 3
 EX_RESTPROC = 4
 EX_JOBLOST = 5
 EX_FENCED = 6
+EX_REJECTED = 7

@@ -25,13 +25,30 @@ phases succeed; this one owns the pipeline end to end:
   *failed* attempt keeps the files (and the retry loop its chances);
   migrate itself removes them when it finally gives up;
 * every retry round is counted on the cluster perf counters.
+
+Crash atomicity (DESIGN.md section 12).  With the ``migration_ledger``
+knob on, migrate brackets the pipeline with a durable intent record on
+the file server: the record is written before SIGDUMP, advanced at
+every phase boundary, and the dump itself is archived through the
+cluster chunk store (``dumpproc -L``).  If migrate — or the host it
+runs on — dies mid-pipeline, ``recoveryd -m`` finds the record and
+finishes or rolls back the migration exactly once; if the sweep fences
+the record first, migrate stands down (``EX_FENCED``) rather than
+race it.  When restart retries are exhausted, a ledgered migrate
+rolls the job back to the *source* host from its own dump, so a
+reachable-but-unreceptive destination costs nothing but time.
 """
 
 from repro.errors import iserr, ECHILD, ENOENT
 from repro.kernel.constants import O_RDONLY
 from repro.core.formats import dump_file_names
+from repro.net.migledger import (LEDGER_FENCED, MigRecord, PH_ABORTED,
+                                 PH_DONE, PH_DUMPED, PH_RESTARTING,
+                                 ledger_advance, ledger_put,
+                                 ledger_reap, mkdir_p, record_dir)
 from repro.programs.base import parse_options, print_err
-from repro.programs.exitcodes import EX_FAIL, EX_OK
+from repro.programs.exitcodes import (EX_FAIL, EX_FENCED, EX_OK,
+                                      EX_TRANSIENT)
 
 USAGE = "usage: migrate -p pid [-f fromhost] [-t tohost] [-d]"
 
@@ -63,8 +80,27 @@ def migrate_main(argv, env):
         else "/n/%s/usr/tmp" % source
     dump_paths = dump_file_names(pid, directory)
 
+    # -- phase 0: durable intent (opt-in, DESIGN.md section 12) -------------
+    # ("sysctl0" keeps the ledger-off path byte-identical: the read is
+    # free, untraced and never dispatched)
+    recdir = record = None
+    if (yield ("sysctl0", "migration_ledger")):
+        ledger_dir = yield ("sysctl0", "migration_ledger_dir")
+        recdir = record_dir(ledger_dir, source, pid)
+        yield from mkdir_p(recdir)
+        now = yield ("time",)
+        record = MigRecord(source, pid, destination, local, time_s=now)
+        result = yield from ledger_put(recdir, record)
+        if iserr(result):
+            yield from print_err("migrate: cannot write intent record "
+                                 "%s" % recdir)
+            yield ("trace_span", "migrate", "E", mig, 0)
+            return EX_FAIL
+
     # -- phase 1: dump on the source host (waited for) ----------------------
     dump_args = ["dumpproc", "-p", str(pid)]
+    if record:
+        dump_args += ["-L", recdir]
     status = None
     for attempt in range(max(1, attempts)):
         if attempt:
@@ -80,13 +116,26 @@ def migrate_main(argv, env):
             break  # permanent (no such process, permission): no retry
     if status != EX_OK:
         yield from _cleanup(dump_paths)
+        if record:
+            yield from _ledger_abort(recdir, record)
         yield from print_err("migrate: dump on %s failed" % source)
         yield ("trace_span", "migrate", "E", mig, 0)
         return EX_FAIL
+    if record:
+        result = yield from ledger_advance(recdir, record, PH_DUMPED)
+        if result == LEDGER_FENCED:
+            return (yield from _fenced(mig, "dump"))
+        # an unreachable ledger is not fatal here: the dump exists
+        # and the sweep resolves stale records by probing reality
 
     # -- phase 2: restart on the destination host ---------------------------
     # -k: a failed restart must keep the dump files, both for the next
     # attempt and so the files' disappearance can only mean success
+    if record:
+        result = yield from ledger_advance(recdir, record,
+                                           PH_RESTARTING)
+        if result == LEDGER_FENCED:
+            return (yield from _fenced(mig, "restart"))
     restart_args = ["restart", "-k", "-p", str(pid), "-h", source]
     for attempt in range(max(1, attempts)):
         if attempt:
@@ -98,12 +147,61 @@ def migrate_main(argv, env):
                                         restart_args, remote_runner,
                                         dump_paths[0])
         if done:
+            if record:
+                result = yield from ledger_advance(recdir, record,
+                                                   PH_DONE)
+                if result == 0:
+                    yield ("perf_note", "ml_completions")
+                    yield from ledger_reap(recdir)
+                # fenced: a sweeper claimed the record, but the copy
+                # is live — its probe finds it and settles the record;
+                # the migration itself still succeeded
             yield ("trace_span", "migrate", "E", mig, 1)
             return EX_OK
+
+    if record:
+        # roll the job back home: the source restarts it from its own
+        # dump (the /n/<self> loopback mount serves the rewritten
+        # names), so a dead-end destination never strands the victim
+        yield from print_err("migrate: restart on %s failed, rolling "
+                             "back to %s" % (destination, source))
+        done = yield from _restart_once(source, local, restart_args,
+                                        remote_runner, dump_paths[0])
+        if done:
+            yield from _ledger_abort(recdir, record)
+            yield from print_err("migrate: %s rolled back to %s"
+                                 % (mig, source))
+        else:
+            # leave the record and the archived dump: the recovery
+            # sweep owns this migration now
+            yield from print_err("migrate: %s left for recovery" % mig)
+        yield ("trace_span", "migrate", "E", mig, 0)
+        return EX_FAIL
+
     yield from _cleanup(dump_paths)
     yield from print_err("migrate: restart on %s failed" % destination)
     yield ("trace_span", "migrate", "E", mig, 0)
     return EX_FAIL
+
+
+def _ledger_abort(recdir, record):
+    """yield-from: mark the record ABORTED and reap it (best effort).
+
+    A fenced or unreachable record is left alone: whoever fenced it
+    owns its fate now.
+    """
+    result = yield from ledger_advance(recdir, record, PH_ABORTED)
+    if result == 0:
+        yield ("perf_note", "ml_aborts")
+        yield from ledger_reap(recdir)
+
+
+def _fenced(mig, phase):
+    """yield-from: stand down — a recovery sweep claimed this record."""
+    yield from print_err("migrate: %s fenced by a recovery sweep "
+                         "during %s; standing down" % (mig, phase))
+    yield ("trace_span", "migrate", "E", mig, 0)
+    return EX_FENCED
 
 
 def _restart_once(destination, local, restart_args, remote_runner,
@@ -160,7 +258,14 @@ def _run(host, local, command_argv, remote_runner, wait):
     while True:
         result = yield ("wait",)
         if iserr(result):
-            return EX_FAIL if result == -ECHILD else EX_FAIL
+            if result == -ECHILD:
+                # our child vanished without us reaping it (something
+                # else consumed the exit): we cannot know whether the
+                # command worked, so report it as transient — retrying
+                # is safe (dumpproc is idempotent) and may yet succeed
+                yield from print_err("migrate: wait: no child to reap")
+                return EX_TRANSIENT
+            return EX_FAIL
         reaped, status = result
         if reaped == child:
             return (status >> 8) & 0xFF if not status & 0x7F \

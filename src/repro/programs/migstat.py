@@ -7,17 +7,30 @@ taken, processes restarted, migrations completed, jobs recovered,
 crashes, and heartbeat suspicions raised by that host's detector.
 The footer reports whether event tracing is currently on (the
 ``trace_status`` syscall).
+
+``-m`` additionally lists the in-flight records of the migration
+intent ledger (DESIGN.md section 12): one row per record with its
+phase, fencing epoch, endpoints and age — the operator's view of
+what a recovery sweep would find.
 """
 
 from repro.errors import iserr, errno_name
-from repro.programs.base import println, print_err
+from repro.net.migledger import PHASE_NAMES, ledger_read
+from repro.programs.base import parse_options, println, print_err
 
 _HEADER = ("HOST        UP  DUMPS  RESTARTS  MIGR  RECOV"
            "  CRASH  SUSP")
 _ROW = "%-10s  %2s  %5d  %8d  %4d  %5d  %5d  %4d"
 
+_LEDGER_HEADER = "LEDGER           PHASE       EPOCH  DEST      ORCH      AGE"
+_LEDGER_ROW = "%-15s  %-10s  %5d  %-8s  %-8s  %ds"
+
 
 def migstat_main(argv, env):
+    opts, __ = parse_options(argv, {"-m": False})
+    if not isinstance(opts, dict):
+        yield from print_err("usage: migstat [-m]")
+        return 1
     rows = yield ("migstat",)
     if iserr(rows):
         yield from print_err("migstat: %s" % errno_name(-rows))
@@ -28,7 +41,37 @@ def migstat_main(argv, env):
             row["host"], "up" if row["up"] else "dn",
             row["dumps"], row["restarts"], row["migrations"],
             row["recoveries"], row["crashes"], row["suspects"]))
+    if opts.get("-m"):
+        yield from _show_ledger()
     tracing = yield ("trace_status",)
     yield from println("tracing: %s" % ("on" if tracing == 1
                                         else "off"))
     return 0
+
+
+def _show_ledger():
+    """yield-from: list the migration ledger's records, if any."""
+    ledgerdir = yield ("sysctl0", "migration_ledger_dir")
+    names = yield ("readdir", ledgerdir)
+    if iserr(names):
+        yield from println("no migration ledger at %s" % ledgerdir)
+        return
+    now = yield ("time",)
+    shown = 0
+    for name in sorted(names):
+        directory = "%s/%s" % (ledgerdir, name)
+        stat = yield ("stat", directory)
+        if iserr(stat) or not stat.is_dir():
+            continue
+        record = yield from ledger_read(directory)
+        if iserr(record):
+            continue  # reaped or torn: not an in-flight record
+        if not shown:
+            yield from println(_LEDGER_HEADER)
+        shown += 1
+        yield from println(_LEDGER_ROW % (
+            record.mig_id(), PHASE_NAMES.get(record.phase, "?"),
+            record.epoch, record.destination, record.orchestrator,
+            max(0, now - record.time_s)))
+    if not shown:
+        yield from println("migration ledger: empty")

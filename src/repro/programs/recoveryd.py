@@ -29,28 +29,48 @@ kills its copy (``EX_FENCED``); one that can see the directory dies
 the moment it reads a higher claim.  Either way at most one live copy
 survives the heal.
 
-Usage: ``recoveryd [-i interval] [-n rounds] <watchdir>`` (defaults
-from the ``recovery_interval_s`` / ``recovery_rounds`` sysctl knobs).
+``-m ledgerdir`` adds the **migration-ledger sweep** (DESIGN.md
+section 12): each round also walks the migration intent ledger and
+settles every record whose orchestrator is suspected dead (or that
+has simply gone stale).  A claimed record is resolved by looking at
+reality — if the destination already runs the migrated copy the
+record is marked DONE; if a crash hit before the dump was captured
+the intent is aborted (the victim either still runs at home or is the
+one documented loss); otherwise the original dump files are
+neutralised and the job is brought up *here* from its chunk-store
+archive.  Never zero live copies of a captured job, never two.
+
+Usage: ``recoveryd [-i interval] [-n rounds] [-m ledgerdir]
+[watchdir]`` (defaults from the ``recovery_interval_s`` /
+``recovery_rounds`` sysctl knobs).
 """
 
-from repro.errors import iserr, ENOENT, UnixError
-from repro.core.formats import FilesInfo, dump_file_names
+from repro.errors import iserr, EIO, ENOENT, UnixError
+from repro.core.formats import (ChunkManifest, FilesInfo, StackInfo,
+                                dump_file_names)
 from repro.kernel.constants import O_CREAT, O_EXCL, O_RDONLY, O_WRONLY
+from repro.net.migledger import (OK_NAME, PH_ABORTED, PH_DONE,
+                                 PH_INTENT, PH_RESTARTING,
+                                 archive_paths, ledger_advance,
+                                 ledger_claim, ledger_read, ledger_reap)
 from repro.programs.base import (parse_options, print_err, println,
                                  read_file, write_file)
 from repro.programs.ckmeta import claim_name, read_meta, write_meta
 from repro.programs.exitcodes import EX_FAIL, EX_OK
 
-USAGE = "usage: recoveryd [-i interval] [-n rounds] watchdir"
+USAGE = ("usage: recoveryd [-i interval] [-n rounds] [-m ledgerdir] "
+         "[watchdir]")
 
 
 def recoveryd_main(argv, env):
-    options, positional = parse_options(argv, {"-i": True,
-                                               "-n": True})
-    if positional is None or len(positional) != 1:
+    options, positional = parse_options(argv, {"-i": True, "-n": True,
+                                               "-m": True})
+    if positional is None or len(positional) > 1 \
+            or (not positional and "-m" not in options):
         yield from print_err(USAGE)
         return EX_FAIL
-    watchdir = positional[0]
+    watchdir = positional[0] if positional else None
+    ledgerdir = options.get("-m")
     try:
         interval = float(options["-i"]) if "-i" in options \
             else (yield ("sysctl", "recovery_interval_s"))
@@ -64,14 +84,17 @@ def recoveryd_main(argv, env):
     local = yield ("gethostname",)
     for __ in range(rounds):
         yield ("sleep", interval)
-        names = yield ("readdir", watchdir)
-        if iserr(names):
-            continue  # the server may be down; try again next round
-        for name in names:
-            stat = yield ("stat", "%s/%s" % (watchdir, name))
-            if iserr(stat) or not stat.is_dir():
-                continue
-            yield from _consider("%s/%s" % (watchdir, name), local)
+        if watchdir:
+            names = yield ("readdir", watchdir)
+            if iserr(names):
+                names = ()  # the server may be down; next round
+            for name in names:
+                stat = yield ("stat", "%s/%s" % (watchdir, name))
+                if iserr(stat) or not stat.is_dir():
+                    continue
+                yield from _consider("%s/%s" % (watchdir, name), local)
+        if ledgerdir:
+            yield from _sweep(ledgerdir, local)
     return EX_OK
 
 
@@ -158,6 +181,7 @@ def _restage(directory, round_no, pid, home, local):
     """
     targets = dump_file_names(pid)
     info = None
+    stack_blob = None
     for kind, target in zip(("aout", "files", "stack"), targets):
         data = yield from read_file("%s/ck%d.%s" % (directory,
                                                     round_no, kind))
@@ -172,12 +196,15 @@ def _restage(directory, round_no, pid, home, local):
                 return None
             _rehome(info, home, local)
             data = info.pack()
+        elif kind == "stack":
+            stack_blob = data
         result = yield from write_file(target, data)
         if iserr(result):
             yield from _unstage(targets)
             return None
         if kind == "aout":
             yield ("chmod", target, 0o700)
+    yield from _adopt_staged(targets, stack_blob)
 
     # put the snapshotted open files back where the job expects them
     seen = set()
@@ -217,3 +244,309 @@ def _restage(directory, round_no, pid, home, local):
 def _unstage(targets):
     for path in targets:
         yield ("unlink", path)
+
+
+def _adopt_staged(targets, stack_blob):
+    """yield-from: chown a staged dump back to its owner.
+
+    The kernel writes dump files owned by the dumped process, and
+    ``restart`` drops to that identity *before* ``rest_proc`` execs
+    the a.out — so a dump staged by a root recoveryd must be given
+    back, or the exec fails its permission check.  A non-root
+    recoveryd cannot chown (EPERM, ignored) but needs no fixup: it
+    stages under its own uid, the only one that may restart then.
+    """
+    try:
+        cred, __ = StackInfo.peek_header(stack_blob)
+    except UnixError:
+        return
+    for target in targets:
+        yield ("chown", target, cred.uid, cred.gid)
+
+
+# -- the migration-ledger sweep (DESIGN.md section 12) ---------------------
+
+
+def _sweep(ledgerdir, local):
+    """yield-from: one pass over the migration intent ledger."""
+    names = yield ("readdir", ledgerdir)
+    if iserr(names):
+        return  # the server may be down; try again next round
+    for name in sorted(names):
+        directory = "%s/%s" % (ledgerdir, name)
+        stat = yield ("stat", directory)
+        if iserr(stat) or not stat.is_dir():
+            continue
+        yield from _sweep_one(directory, local)
+
+
+def _sweep_one(directory, local):
+    """Settle one ledger record, exactly once."""
+    record = yield from ledger_read(directory)
+    if iserr(record):
+        return  # already reaped, torn, or unreachable
+    if record.phase in (PH_DONE, PH_ABORTED):
+        yield from ledger_reap(directory)  # straggler cleanup
+        return
+
+    # eligibility: only records whose orchestrator is suspected dead
+    # — or that have gone stale, since an orchestrator *process* can
+    # die without its host being suspected — may be touched.  An
+    # orchestrator on this very host is never "suspected"; staleness
+    # is the only signal for it.
+    if record.orchestrator == local:
+        suspected = 0
+    else:
+        suspected = yield ("hb_status", record.orchestrator)
+    if suspected != 1:
+        now = yield ("time",)
+        stale_s = yield ("sysctl0", "ledger_stale_s")
+        if now - record.time_s <= stale_s:
+            return
+
+    # the fence: whoever creates claim.<E> owns the record at epoch E.
+    # The orchestrator checks for claims at every phase advance and
+    # stands down (EX_FENCED) once one exists.
+    epoch = yield from ledger_claim(directory, record)
+    if iserr(epoch):
+        return  # lost the race, or the server is unreachable
+
+    ok_stat = yield ("stat", "%s/%s" % (directory, OK_NAME))
+    if record.phase == PH_INTENT and iserr(ok_stat):
+        # the crash hit before the dump was captured: nothing exists
+        # to restart from.  Either SIGDUMP never landed (the victim
+        # still runs at home, untouched) or the victim died mid-dump
+        # — the one documented loss.  Abort the intent.
+        result = yield from ledger_advance(directory, record,
+                                           PH_ABORTED,
+                                           fence_epoch=epoch)
+        if result == 0:
+            yield ("perf_note", "ml_aborts")
+            yield from ledger_reap(directory)
+            yield from println("recoveryd: aborted pre-capture %s"
+                               % record.mig_id())
+        return
+
+    # the dump was captured: finish the migration.  Reality first —
+    # the destination may already be running the copy.
+    verdict = yield from _probe_destination(record, local)
+    if verdict == "busy":
+        return  # a restart is in flight there; decide next round
+    if verdict == "live":
+        result = yield from ledger_advance(directory, record, PH_DONE,
+                                           fence_epoch=epoch)
+        if result == 0:
+            yield ("perf_note", "ml_sweeps")
+            yield from ledger_reap(directory)
+            yield from println("recoveryd: %s already live on %s"
+                               % (record.mig_id(), record.destination))
+        return
+
+    # no copy at the destination: make sure a straggling restart can
+    # never produce one (the originals are its only source), then
+    # bring the job up *here* from the chunk-store archive.  The
+    # record is re-pointed at this host *before* the restage so any
+    # later sweeper's probe looks at the right destination.
+    yield from _neutralize(record, local)
+    record.destination = local
+    result = yield from ledger_advance(directory, record,
+                                       PH_RESTARTING,
+                                       fence_epoch=epoch)
+    if result != 0:
+        return  # fenced by a later claim, or the server went away
+    new_pid = yield from _restage_ledger(directory, record, local)
+    if new_pid is None:
+        yield from print_err("recoveryd: %s: restage failed; will "
+                             "retry" % record.mig_id())
+        return  # the record stands; a later round (or peer) retries
+    result = yield from ledger_advance(directory, record, PH_DONE,
+                                       fence_epoch=epoch)
+    if result == 0:
+        yield ("perf_note", "ml_sweeps")
+        yield from ledger_reap(directory)
+    yield from println("recoveryd: recovered %s on %s, pid %d epoch %d"
+                       % (record.mig_id(), local, new_pid, epoch))
+
+
+def _probe_destination(record, local):
+    """yield-from: "live", "busy" or "clear" for the record's dest.
+
+    Fail-stop model: a destination the failure detector suspects
+    holds no copy (a crashed host loses its processes, and its disk
+    — though it survives — cannot host a *running* process).  An
+    unreachable-but-unsuspected destination defers the verdict.  A
+    native ``restart`` seen on the destination also defers: its
+    ``rest_proc`` may be about to produce the copy.
+    """
+    token = "a.out%d" % record.pid
+    if record.destination == local:
+        rows = yield ("getproctab",)
+        if iserr(rows):
+            return "busy"
+        if any(row["vm"] and row["command"] == token for row in rows):
+            return "live"
+        if any(not row["vm"] and row["command"] == "restart"
+               for row in rows):
+            return "busy"
+        return "clear"
+    suspected = yield ("hb_status", record.destination)
+    if suspected == 1:
+        return "clear"
+    output, status = yield from _relay_ps(record.destination)
+    if status != EX_OK:
+        return "busy"  # reachable host, failed probe: retry later
+    live = busy = False
+    for line in output.decode("latin-1", "replace").split("\n"):
+        words = line.split()
+        if not words:
+            continue
+        if words[-1] == token:
+            live = True
+        elif words[-1] == "restart":
+            busy = True
+    return "live" if live else ("busy" if busy else "clear")
+
+
+def _relay_ps(dest):
+    """yield-from: (output bytes, exit status) of ``ps -a`` on dest."""
+    pipe = yield ("pipe",)
+    if iserr(pipe):
+        return b"", EX_FAIL
+    rfd, wfd = pipe
+    child = yield ("spawn", "/bin/migrationd-run",
+                   ["migrationd-run", dest, "ps -a"],
+                   (None, wfd, wfd))
+    yield ("close", wfd)
+    if iserr(child):
+        yield ("close", rfd)
+        return b"", EX_FAIL
+    output = bytearray()
+    while True:
+        data = yield ("read", rfd, 1024)
+        if iserr(data) or data == b"":
+            break
+        output.extend(data)
+    yield ("close", rfd)
+    status = EX_FAIL
+    for __ in range(10):
+        reaped = yield ("reap",)
+        if isinstance(reaped, tuple):
+            if reaped[0] != child:
+                continue  # somebody else's zombie; keep looking
+            raw = reaped[1]
+            status = (raw >> 8) & 0xFF if not raw & 0x7F else EX_FAIL
+            break
+        yield ("sleep", 1)
+    return bytes(output), status
+
+
+def _neutralize(record, local):
+    """yield-from: unlink the original dump files on the source.
+
+    Any restart still straggling toward the old destination reads
+    these files; removing them guarantees it can only fail.  Errors
+    are ignored — a source that is down cannot serve a straggler
+    either, and its ``/usr/tmp`` does not survive the reboot that
+    brings it back.
+    """
+    directory = "/usr/tmp" if record.source == local \
+        else "/n/%s/usr/tmp" % record.source
+    for path in dump_file_names(record.pid, directory):
+        yield ("unlink", path)
+
+
+def _fetch_archive(manifest):
+    """yield-from: reassemble one manifest from the chunk store."""
+    parts = []
+    for index, digest in enumerate(manifest.digests):
+        blob = yield ("store_get", digest)
+        if iserr(blob):
+            return blob
+        if len(blob) != manifest.chunk_size(index):
+            return -EIO
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def _rewrite_archived(path, source, terminal_check=True):
+    """yield-from: the section 4.4 rewrite for an *archived* name.
+
+    The kernel archives the files info at dump time, *before*
+    ``dumpproc``'s rewrite pass runs on the source, so the sweep
+    applies the same rules here — from the far end: the name is made
+    remote first, then checked against the source's devices.
+    Idempotent when a name already carries a ``/n/`` prefix.
+    """
+    if not path.startswith("/n/"):
+        path = "/n/%s%s" % (source, path)
+    if terminal_check:
+        stat = yield ("stat", path)
+        if not iserr(stat) and stat.is_terminal():
+            return "/dev/tty"
+    return path
+
+
+def _restage_ledger(directory, record, local):
+    """Stage the record's chunk-store archive locally and restart it.
+
+    Returns the restarted job's pid, or None.  Mirrors ``_restage``,
+    but the bytes come from the cluster chunk store via the record's
+    manifests — so not even a source reboot (which wipes
+    ``/usr/tmp``) can have lost the dump.
+    """
+    blobs = []
+    for path in archive_paths(directory):
+        manifest_blob = yield from read_file(path)
+        if iserr(manifest_blob):
+            return None
+        try:
+            manifest = ChunkManifest.unpack(manifest_blob)
+        except UnixError:
+            return None
+        blob = yield from _fetch_archive(manifest)
+        if iserr(blob):
+            return None
+        blobs.append(blob)
+    aout_blob, files_blob, stack_blob = blobs
+    try:
+        info = FilesInfo.unpack(files_blob)
+    except UnixError:
+        return None
+    info.cwd = yield from _rewrite_archived(info.cwd, record.source,
+                                            terminal_check=False)
+    for entry in info.entries:
+        if entry.is_file() and entry.path:
+            entry.path = yield from _rewrite_archived(entry.path,
+                                                      record.source)
+    files_blob = info.pack()
+
+    targets = dump_file_names(record.pid)
+    for target, data in zip(targets,
+                            (aout_blob, files_blob, stack_blob)):
+        result = yield from write_file(target, data)
+        if iserr(result):
+            yield from _unstage(targets)
+            return None
+    yield ("chmod", targets[0], 0o700)
+    yield from _adopt_staged(targets, stack_blob)
+
+    child = yield ("spawn", "/bin/restart",
+                   ["restart", "-k", "-p", str(record.pid)])
+    if iserr(child):
+        yield from _unstage(targets)
+        return None
+    poll_tries = yield ("sysctl", "restart_poll_tries")
+    poll_sleep = yield ("sysctl", "restart_poll_sleep_s")
+    for __ in range(max(1, poll_tries)):
+        fd = yield ("open", targets[0], O_RDONLY, 0)
+        if fd == -ENOENT:
+            return child  # rest_proc consumed the dump: it took
+        if not iserr(fd):
+            yield ("close", fd)
+        reaped = yield ("reap",)
+        if isinstance(reaped, tuple) and reaped[0] == child:
+            yield from _unstage(targets)
+            return None
+        yield ("sleep", poll_sleep)
+    yield from _unstage(targets)
+    return None

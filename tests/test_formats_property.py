@@ -1,12 +1,13 @@
 """Property-based round-trip tests for the wire and dump formats.
 
-Seeded ``random`` generation, no extra dependencies: ~300 randomized
-FilesInfo/StackInfo/LoadReport instances must survive pack → unpack
-→ pack with byte-identical output, and damaged blobs (truncations,
-bad magic, bad entry kinds, bad versions) must raise
+Seeded ``random`` generation, no extra dependencies: ~400 randomized
+FilesInfo/StackInfo/LoadReport/MigRecord instances must survive pack
+→ unpack → pack with byte-identical output, and damaged blobs
+(truncations, bad magic, bad entry kinds, bad versions) must raise
 :class:`UnixError` cleanly rather than crash with an
 IndexError/struct.error — restart and dumpproc parse dump files from
-NFS, and loadd-recv parses LOADREPORTs straight off the network, so
+NFS, loadd-recv parses LOADREPORTs straight off the network, and the
+recovery sweep parses ledger records that a crash may have torn, so
 all of them must fail predictably on torn or hostile input.
 """
 
@@ -25,9 +26,11 @@ from repro.core.formats import (FdEntry, FilesInfo, StackInfo,
                                 FD_UNUSED)
 from repro.net.loadd import (LOADREPORT_VERSION, MAX_CANDIDATES,
                              LoadReport)
+from repro.net.migledger import (MIGLEDGER_VERSION, PHASE_NAMES,
+                                 MigRecord)
 from repro.vm.image import Registers
 
-CASES = 100  # per format: 300 round-trips in all
+CASES = 100  # per format: 400 round-trips in all
 
 
 def _random_text(rng, max_len=40):
@@ -82,6 +85,16 @@ def _random_stack_info(rng):
                   for __ in range(rng.randrange(0, 2048)))
     return StackInfo(cred=cred, stack=stack, registers=registers,
                      sigstate=sigstate)
+
+
+def _random_mig_record(rng):
+    return MigRecord(source=_random_text(rng, 16),
+                     pid=rng.randrange(1, 1 << 15),
+                     destination=_random_text(rng, 16),
+                     orchestrator=_random_text(rng, 16),
+                     phase=rng.choice(sorted(PHASE_NAMES)),
+                     epoch=rng.randrange(0, 1 << 16),
+                     time_s=rng.randrange(0, 1 << 31))
 
 
 def _random_load_report(rng):
@@ -140,6 +153,17 @@ def test_load_report_roundtrip_bytes_identical():
         assert back.time_s == report.time_s
         assert back.runnable == report.runnable
         assert back.candidates == report.candidates
+
+
+def test_mig_record_roundtrip_bytes_identical():
+    rng = random.Random(0x1ED6E)
+    for case in range(CASES):
+        record = _random_mig_record(rng)
+        blob = record.pack()
+        back = MigRecord.unpack(blob)
+        assert back.pack() == blob, "case %d not byte-identical" % case
+        assert back == record
+        assert back.mig_id() == record.mig_id()
 
 
 # -- damage must fail cleanly -----------------------------------------------
@@ -231,6 +255,39 @@ def test_load_report_candidate_overflow_rejected():
                 + blob[count_at + 2:])
     with pytest.raises(UnixError):
         LoadReport.unpack(doctored)
+
+
+def test_mig_record_truncations_raise_cleanly():
+    rng = random.Random(0x7A0F)
+    blob = _random_mig_record(rng).pack()
+    for cut in range(len(blob)):
+        with pytest.raises(UnixError):
+            MigRecord.unpack(blob[:cut])
+
+
+def test_mig_record_bad_magic_and_version_raise_cleanly():
+    blob = _random_mig_record(random.Random(0x1ED7)).pack()
+    for mangled in (b"\x00\x00", b"\xff\xff"):
+        with pytest.raises(UnixError):
+            MigRecord.unpack(mangled + blob[2:])
+    assert blob[2] == MIGLEDGER_VERSION
+    for version in (0, MIGLEDGER_VERSION + 1, 0xFF):
+        doctored = blob[:2] + bytes((version,)) + blob[3:]
+        with pytest.raises(UnixError):
+            MigRecord.unpack(doctored)
+
+
+def test_mig_record_bad_phase_rejected():
+    # at construction...
+    with pytest.raises(UnixError):
+        MigRecord("brick", 3, "schooner", "tanker", phase=99)
+    with pytest.raises(UnixError):
+        MigRecord("brick", 3, "schooner", "tanker", epoch=1 << 16)
+    # ...and in a doctored blob (the phase byte sits at offset 3)
+    blob = MigRecord("brick", 3, "schooner", "tanker").pack()
+    doctored = blob[:3] + b"\x63" + blob[4:]
+    with pytest.raises(UnixError):
+        MigRecord.unpack(doctored)
 
 
 def test_uncatchable_handlers_sanitized_on_unpack():

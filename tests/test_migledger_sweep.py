@@ -1,0 +1,349 @@
+"""The crash-point sweep for crash-atomic migrations (DESIGN.md §12).
+
+The exactly-once contract: with the ``migration_ledger`` knob on, a
+migration either completes (one live copy at the destination — or,
+after a sweep restage, on the sweeper's host), rolls back (one live
+copy at the source), or aborts before capture (the original keeps
+running).  *Never zero live copies of a captured job, never two* — no
+matter which host of {source, destination, orchestrator} crashes at
+which ledger phase boundary.
+
+The matrix below crashes each role at every boundary — ``ledger.put``
+(before the intent record), ``ledger.advance`` at the DUMPED /
+RESTARTING / DONE writes, and ``ledger.claim`` (inside the recovery
+sweep itself) — heals the cluster, runs ``recoveryd -m`` sweeps, and
+asserts:
+
+* exactly the expected live copy (host and kind) — or, for the two
+  documented carve-outs, zero: a source that dies *with* the victim
+  before capture, and a destination that dies *after* the commit
+  (both are plain host crashes outside the migration window);
+* the ledger record and every claim/archive file reaped;
+* no dump files left anywhere;
+* the identical run under BOTH cluster engines (consoles, clocks,
+  counters and trace byte-for-byte).
+"""
+
+import pytest
+
+from repro.core.api import MigrationSite
+from repro.costmodel import CostModel
+from repro.errors import UnixError
+from repro.programs import start_network_daemons
+
+#: the ledger on, detection/staleness shrunk so sweeps run promptly,
+#: retry/poll knobs shrunk exactly as in the chaos tests
+KNOBS = dict(migration_ledger=True, ledger_stale_s=3.0,
+             hb_interval_s=1.0, hb_timeout_s=3.0,
+             migrate_backoff_s=0.5, connect_backoff_s=0.5,
+             net_read_timeout_s=5.0, restart_poll_tries=20,
+             restart_poll_sleep_s=0.5, dump_poll_tries=10,
+             dump_poll_sleep_s=0.5)
+
+LEDGER_DIR = "/n/brador/usr/spool/migledger"
+#: the same directory as the file server's local fs sees it
+LEDGER_LOCAL = "/usr/spool/migledger"
+
+WORKSTATIONS = ("brick", "schooner", "tanker")
+ALL_HOSTS = WORKSTATIONS + ("brador",)
+
+#: low-volume categories only (the same set as the chaos matrix): the
+#: JSONL render lands in the cross-engine summary
+TRACE_CATEGORIES = ("fault", "hb", "dump", "restart", "migrate",
+                    "recovery", "net.sock")
+
+#: iterations that keep the victim cpuhog alive past the longest
+#: cell.  The victim must be a job that survives a *relayed* restart:
+#: migrationd's helper runs restart detached with the socket for
+#: stdio, so a restored process that reads the terminal (the counter)
+#: sees EOF from /dev/null and exits — a cpuhog never touches stdin.
+VICTIM_ITERS = 50_000_000
+
+#: The crash matrix.  Each cell: (fault rules, expected live copy).
+#: migrate runs on tanker (the orchestrator), moving a cpuhog from
+#: brick (source) to schooner (destination).  A rule without target=
+#: crashes the host that hits the site — tanker for put/advance
+#: (migrate) and the sweeper's host for claim; target= crashes a
+#: bystander while the protected write goes through.  skip= selects
+#: the advance boundary: 0 = DUMPED, 1 = RESTARTING, 2 = DONE.
+#: Expected copies: ("<host>", "aout") — the migrated image runs
+#: there; ("brick", "orig") — the intent aborted pre-capture and the
+#: original job never stopped; None — a documented carve-out.
+CELLS = [
+    # -- ledger.put: before the intent record exists -------------------
+    ("put-orchestrator-dies", "ledger.put crash n=1",
+     ("brick", "orig")),
+    ("put-source-dies", "ledger.put crash n=1 target=brick",
+     None),  # carve-out: the victim died with its host, pre-capture
+    ("put-destination-dies", "ledger.put crash n=1 target=schooner",
+     ("brick", "aout")),  # ledgered rollback to the source
+    # -- ledger.advance to DUMPED --------------------------------------
+    ("dumped-orchestrator-dies", "ledger.advance crash n=1",
+     ("tanker", "aout")),  # sweep restages from the archive
+    ("dumped-source-dies", "ledger.advance crash n=1 target=brick",
+     ("tanker", "aout")),  # source reboot wipes /usr/tmp; archive wins
+    ("dumped-destination-dies",
+     "ledger.advance crash n=1 target=schooner",
+     ("brick", "aout")),
+    # -- ledger.advance to RESTARTING ----------------------------------
+    ("restarting-orchestrator-dies", "ledger.advance crash n=1 skip=1",
+     ("tanker", "aout")),
+    ("restarting-source-dies",
+     "ledger.advance crash n=1 skip=1 target=brick",
+     ("tanker", "aout")),
+    ("restarting-destination-dies",
+     "ledger.advance crash n=1 skip=1 target=schooner",
+     ("brick", "aout")),
+    # -- ledger.advance to DONE (the restart already landed) -----------
+    ("done-orchestrator-dies", "ledger.advance crash n=1 skip=2",
+     ("schooner", "aout")),  # sweep's probe finds the copy live
+    ("done-source-dies", "ledger.advance crash n=1 skip=2 target=brick",
+     ("schooner", "aout")),
+    ("done-destination-dies",
+     "ledger.advance crash n=1 skip=2 target=schooner",
+     None),  # carve-out: committed, then the destination host crashed
+    # -- ledger.claim: the recovery sweep itself crashes ---------------
+    #    (the first rule kills the orchestrator at the DUMPED advance
+    #    so that a sweep becomes necessary at all)
+    ("claim-sweeper-dies",
+     "ledger.advance crash n=1; ledger.claim crash n=1",
+     ("tanker", "aout")),
+    ("claim-source-dies",
+     "ledger.advance crash n=1; ledger.claim crash n=1 target=brick",
+     ("tanker", "aout")),
+    ("claim-destination-dies",
+     "ledger.advance crash n=1; ledger.claim crash n=1 target=schooner",
+     ("tanker", "aout")),
+]
+
+
+def _site(engine, **overrides):
+    knobs = dict(KNOBS, **overrides)
+    site = MigrationSite(costs=CostModel(**knobs),
+                         workstations=WORKSTATIONS, engine=engine)
+    site.cluster.tracer.enable(*TRACE_CATEGORIES)
+    site.run_quiet()
+    # the ledger spool is operator-provisioned, like a real /usr/spool
+    # subdirectory (see docs/man/migledger.5.md): world-writable so an
+    # unprivileged migrate can create its record directory inside
+    site.machine("brador").fs.makedirs(LEDGER_LOCAL, mode=0o777)
+    return site
+
+
+def _start_victim(site):
+    """The migration victim: a cpu-bound job on the source host."""
+    return site.start("brick", "/bin/cpuhog",
+                      ["cpuhog", str(VICTIM_ITERS)], uid=100)
+
+
+def _drain(site, seconds=3.0):
+    """A bounded drain window: in-flight relays and restarts land.
+
+    ``run_quiet`` would raise with a live cpuhog (the cluster never
+    goes idle), so every settling pause is a fixed slice of virtual
+    time — identical under both engines.
+    """
+    site.run(until_us=site.cluster.wall_time_us()
+             + int(seconds * 1_000_000),
+             max_steps=120_000_000)
+
+
+def _copies(site, victim_pid):
+    """Every live copy of the victim, as (host, kind) tuples."""
+    token = "a.out%d" % victim_pid
+    found = []
+    for name in WORKSTATIONS:
+        machine = site.machine(name)
+        if not machine.running:
+            continue
+        for proc in machine.kernel.procs.all_procs():
+            if proc.zombie() or not proc.is_vm():
+                continue
+            if proc.command == token:
+                found.append((name, "aout"))
+            elif name == "brick" and proc.pid == victim_pid \
+                    and proc.command == "cpuhog":
+                found.append((name, "orig"))
+    return tuple(sorted(found))
+
+
+def _ledger_leftovers(site):
+    """Every file still inside the ledger on the server's own disk."""
+    fs = site.machine("brador").fs
+    try:
+        root = fs.resolve_local(LEDGER_LOCAL)
+    except UnixError:
+        return ()
+    found = []
+    for sub in sorted(fs.entry_names(root)):
+        try:
+            subdir = fs.resolve_local("%s/%s" % (LEDGER_LOCAL, sub))
+        except UnixError:
+            continue
+        found.extend("%s/%s" % (sub, entry)
+                     for entry in sorted(fs.entry_names(subdir)))
+    return tuple(found)
+
+
+def _orphan_dump_files(site):
+    found = []
+    for name in ALL_HOSTS:
+        machine = site.machine(name)
+        try:
+            tmp = machine.fs.resolve_local("/usr/tmp")
+        except UnixError:
+            continue
+        for entry in sorted(machine.fs.entry_names(tmp)):
+            if entry.startswith(("a.out", "files", "stack")):
+                found.append("%s:%s" % (name, entry))
+    return tuple(found)
+
+
+def _heal_and_sweep(site, rounds=8, attempts=3):
+    """Reboot whatever died, sweep the ledger, repeat until settled.
+
+    One sweeper at a time (each bounded to ``rounds`` scan rounds), so
+    claim-epoch growth stays deterministic; a sweeper that crashes
+    with its host is replaced on the next attempt.
+    """
+    for __ in range(attempts):
+        for name in WORKSTATIONS:
+            machine = site.machine(name)
+            if not machine.running:
+                site.cluster.reboot_host(name)
+                start_network_daemons(machine)
+        _drain(site, 2.0)
+        sweeper = site.machine("tanker").spawn(
+            "/bin/recoveryd", ["recoveryd", "-m", LEDGER_DIR,
+                               "-i", "1", "-n", str(rounds)],
+            uid=0, cwd="/tmp")
+        site.run_until(
+            lambda: sweeper.exited
+            or not site.machine("tanker").running,
+            max_steps=120_000_000)
+        if sweeper.exited and not any(
+                name.endswith("/rec")
+                for name in _ledger_leftovers(site)):
+            break
+    # bring any bystander that died during the final sweep back too:
+    # the exactly-once count below is over a fully healed cluster
+    for name in WORKSTATIONS:
+        machine = site.machine(name)
+        if not machine.running:
+            site.cluster.reboot_host(name)
+            start_network_daemons(machine)
+    _drain(site, 3.0)
+
+
+def _run_cell(engine, spec):
+    site = _site(engine)
+    victim = _start_victim(site)
+    plan = site.cluster.inject_faults(spec, seed=77)
+    handle = site.migrate(victim.pid, "brick", "schooner",
+                          typed_on="tanker", use_daemon=True,
+                          wait_resumed=False)
+    site.run_until(
+        lambda: handle.exited or not site.machine("tanker").running,
+        max_steps=120_000_000)
+    _drain(site, 3.0)
+    _heal_and_sweep(site)
+
+    perf = site.cluster.perf
+    snapshot = perf.snapshot()
+    return {
+        "copies": _copies(site, victim.pid),
+        "leftovers": _ledger_leftovers(site),
+        "orphans": _orphan_dump_files(site),
+        "fired": plan.fired(),
+        "ml": {key: value for key, value in snapshot.items()
+               if key.startswith("ml_")},
+        "host_crashes": perf.host_crashes,
+        "host_reboots": perf.host_reboots,
+        "clocks_us": tuple(site.machine(n).clock.now_us
+                           for n in ALL_HOSTS),
+        "consoles": tuple(site.console(n) for n in ALL_HOSTS),
+        "trace_jsonl": site.cluster.tracer.to_jsonl(),
+    }
+
+
+@pytest.mark.parametrize("name,spec,expected", CELLS,
+                         ids=[c[0] for c in CELLS])
+def test_crash_point_cell_on_both_engines(name, spec, expected):
+    summaries = {}
+    for engine in ("scan", "fast"):
+        summary = _run_cell(engine, spec)
+        summaries[engine] = summary
+
+        want = () if expected is None else (expected,)
+        assert summary["copies"] == want, \
+            "%s/%s: live copies %r, want %r" \
+            % (name, engine, summary["copies"], want)
+        assert summary["leftovers"] == (), \
+            "%s/%s: unreaped ledger files %r" \
+            % (name, engine, summary["leftovers"])
+        assert summary["orphans"] == (), \
+            "%s/%s: leftover dump files %r" \
+            % (name, engine, summary["orphans"])
+        assert summary["fired"], \
+            "%s/%s: the fault plan never fired" % (name, engine)
+
+    assert summaries["scan"] == summaries["fast"], \
+        "%s: engines disagree" % name
+
+
+# -- the no-ledger baseline (the documented lost-job window) ---------------
+#
+# With the ledger off, an orchestrator-host crash between the dump and
+# the restart loses the job outright: the victim is dead, its dump
+# files are orphaned on the source, and no daemon is responsible for
+# them.  The test pair pins that baseline AND the ledger's win on the
+# byte-for-byte identical crash.
+
+
+def _orchestrator_death_mid_pipeline(engine, ledger_on):
+    site = _site(engine, migration_ledger=ledger_on)
+    victim = _start_victim(site)
+    handle = site.migrate(victim.pid, "brick", "schooner",
+                          typed_on="tanker", use_daemon=True,
+                          wait_resumed=False)
+
+    def dump_landed():
+        try:
+            site.machine("brick").fs.resolve_local(
+                "/usr/tmp/a.out%d" % victim.pid)
+            return True
+        except UnixError:
+            return False
+
+    site.run_until(dump_landed, max_steps=120_000_000)
+    site.cluster.crash_host("tanker")
+    _heal_and_sweep(site)
+    return site, victim
+
+
+@pytest.mark.parametrize("engine", ("scan", "fast"))
+def test_orchestrator_death_loses_the_job_without_the_ledger(engine):
+    site, victim = _orchestrator_death_mid_pipeline(engine,
+                                                    ledger_on=False)
+    # the documented loss: nobody runs the job anywhere...
+    assert _copies(site, victim.pid) == ()
+    # ...and its dump files rot on the source with no owner
+    orphans = _orphan_dump_files(site)
+    assert orphans == ("brick:a.out%d" % victim.pid,
+                       "brick:files%d" % victim.pid,
+                       "brick:stack%d" % victim.pid)
+    assert site.cluster.perf.ml_sweeps == 0
+
+
+@pytest.mark.parametrize("engine", ("scan", "fast"))
+def test_orchestrator_death_recovers_the_job_with_the_ledger(engine):
+    site, victim = _orchestrator_death_mid_pipeline(engine,
+                                                    ledger_on=True)
+    # the same crash, ledgered: the sweep restages the archived dump
+    # on the surviving sweeper host — exactly one live copy, no debris
+    assert _copies(site, victim.pid) == (("tanker", "aout"),)
+    assert _orphan_dump_files(site) == ()
+    assert _ledger_leftovers(site) == ()
+    assert site.cluster.perf.ml_sweeps == 1
+    assert "recoveryd: recovered brick:%d" % victim.pid \
+        in site.console("tanker")

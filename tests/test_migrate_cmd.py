@@ -2,6 +2,9 @@
 
 import pytest
 
+from repro.errors import ECHILD, EINTR
+from repro.programs.exitcodes import EX_FAIL, EX_TRANSIENT
+from repro.programs.migrate import _run
 from tests.conftest import start_counter
 
 
@@ -108,6 +111,55 @@ def test_migrate_nonexistent_process_fails(site):
     site.run_until(lambda: mh.exited)
     assert mh.exit_status == 1
     assert "dump on brick failed" in site.console("brick")
+
+
+def _drive_run_until_wait(gen):
+    """Advance migrate's ``_run`` to its first ("wait",) yield."""
+    op = gen.send(None)
+    assert op[0] == "spawn"
+    op = gen.send(42)  # the spawned child's pid
+    assert op == ("wait",)
+    return gen
+
+
+def _finish(gen, reply):
+    """Feed ``reply`` to the pending wait; answer writes; return value."""
+    try:
+        op = gen.send(reply)
+        while True:
+            assert op[0] == "write"
+            op = gen.send(len(op[2]))
+    except StopIteration as stop:
+        return stop.value
+
+
+def test_run_wait_echild_is_transient_not_fail():
+    """Regression: wait() returning ECHILD means the child vanished
+    without us reaping it — the command's outcome is *unknown*, so
+    migrate must classify it transient (dumpproc is idempotent and a
+    retry is safe), not permanent.  The old code took the generic
+    error branch and gave up the whole migration."""
+    gen = _drive_run_until_wait(
+        _run("brick", "brick", ["dumpproc", "-p", "3"], "rsh", True))
+    assert _finish(gen, -ECHILD) == EX_TRANSIENT
+
+
+def test_run_wait_other_errors_still_permanent():
+    """The distinction matters both ways: a non-ECHILD wait error is
+    still the permanent failure it always was."""
+    gen = _drive_run_until_wait(
+        _run("brick", "brick", ["dumpproc", "-p", "3"], "rsh", True))
+    assert _finish(gen, -EINTR) == EX_FAIL
+
+
+def test_run_wait_skips_other_children():
+    """A reaped sibling (some earlier retry's corpse) is not the
+    answer: _run keeps waiting for *its* child."""
+    gen = _drive_run_until_wait(
+        _run("brick", "brick", ["dumpproc", "-p", "3"], "rsh", True))
+    op = gen.send((41, 0))  # somebody else's child
+    assert op == ("wait",)
+    assert _finish(gen, (42, 0)) == 0
 
 
 def test_rsh_runs_simple_command(site):

@@ -12,7 +12,8 @@ import pytest
 from repro.core.api import MigrationSite
 from repro.errors import iserr
 from repro.net.migrationd import MIGRATIOND_PORT
-from repro.programs.exitcodes import EX_FAIL, EX_TRANSIENT
+from repro.programs.exitcodes import (EX_FAIL, EX_REJECTED,
+                                      EX_TRANSIENT)
 
 
 @pytest.fixture
@@ -130,3 +131,18 @@ def test_real_daemon_round_trip_still_works(site):
     status = site.run_command(
         "brick", ["migrationd-run", "schooner", "ps", "-a"], uid=100)
     assert status == 0
+
+
+def test_daemon_rejects_commands_off_the_allowlist(site):
+    """The helper relays migration commands, not a remote shell: any
+    command outside the fixed allowlist is refused with a distinct
+    status, and nothing is spawned on the server host."""
+    status = site.run_command(
+        "brick", ["migrationd-run", "schooner", "sh", "-c", "boom"],
+        uid=100)
+    assert status == EX_REJECTED
+    assert "migrationd: sh: not permitted" in site.console("brick")
+    # the refused command never ran on the server host
+    assert not any(
+        proc.command == "sh"
+        for proc in site.machine("schooner").kernel.procs.all_procs())
