@@ -45,6 +45,12 @@ class DumpSupport:
         a.out file), which is logged.
         """
         from repro.core.formats import dump_file_names
+        # sys_dump_ledger arms exactly one dump: consume the arming up
+        # front, success or failure, so a later plain dump of a
+        # surviving process can never re-archive into a stale
+        # (possibly already reaped) record directory
+        recdir = getattr(proc, "ledger_dir", None)
+        proc.ledger_dir = None
         if not proc.is_vm():
             self.log("SIGDUMP: pid %d (%s) is not dumpable"
                      % (proc.pid, proc.command))
@@ -86,7 +92,6 @@ class DumpSupport:
                 written.append(path)
             self._verify_dump(inodes[aout_path], inodes[files_path],
                               inodes[stack_path])
-            recdir = getattr(proc, "ledger_dir", None)
             if recdir:
                 # a ledgered dump (dumpproc -L) is also archived
                 # through the chunk store, inside the same
@@ -179,6 +184,7 @@ class DumpSupport:
         chunk_bytes = max(1, int(self.costs.dump_chunk_bytes))
         written = []
         try:
+            self._archive_record_check(proc, recdir)
             for path, blob in zip(ledger_archive_names(recdir), blobs):
                 digests = []
                 for start in range(0, len(blob), chunk_bytes):
@@ -192,7 +198,9 @@ class DumpSupport:
                 self.kwrite_file(proc, path, manifest.pack(), mode=0o644)
                 written.append(path)
             # the commit marker ("dump.ok", matching migledger.OK_NAME
-            # — the kernel cannot import repro.net) goes last
+            # — the kernel cannot import repro.net) goes last, and
+            # only if nobody reaped the record while we archived
+            self._archive_record_check(proc, recdir)
             ok_path = "%s/dump.ok" % recdir
             self.fault_check("ledger.archive", ok_path)
             self.kwrite_file(proc, ok_path, b"ok\n", mode=0o644)
@@ -204,6 +212,25 @@ class DumpSupport:
         if self.tracer.enabled:
             self.tracer.emit("dump", "archive", self.machine,
                              pid=proc.pid)
+
+    def _archive_record_check(self, proc, recdir):
+        """An archive is only meaningful under a live ledger record.
+
+        A recovery sweep that aborted the intent has reaped the
+        record directory; committing an archive into it afterwards
+        would leak the manifests with nobody left to restart the
+        job.  Checked before the first manifest and again before the
+        ``dump.ok`` commit marker — failing here fails the whole
+        all-or-nothing dump, so the victim survives at home instead.
+        ("rec" matches migledger.REC_NAME — the kernel cannot import
+        repro.net.)
+        """
+        from repro.errors import ENOENT
+        try:
+            self.namei(proc, "%s/rec" % recdir)
+        except UnixError:
+            raise UnixError(ENOENT,
+                            "ledger record gone: %s" % recdir)
 
     def _kunlink_quiet(self, proc, path):
         """Best-effort unlink during failure cleanup."""

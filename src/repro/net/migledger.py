@@ -166,9 +166,20 @@ def mkdir_p(path):
     return 0 if (not iserr(result) or result == -EEXIST) else result
 
 
-def _write_rec(directory, record):
-    """yield-from: atomically (re)write the record file; 0 or -errno."""
-    tmp = "%s/%s.tmp" % (directory, REC_NAME)
+def _write_rec(directory, record, tag=None):
+    """yield-from: atomically (re)write the record file; 0 or -errno.
+
+    ``tag`` names the scratch file.  Concurrent writers — an
+    orchestrator racing a claiming sweeper, or two sweepers at
+    different epochs — must not share one scratch name, or the
+    loser's rename ships the winner's half-written bytes; every
+    phase advance therefore tags the scratch file with the writer's
+    fencing epoch, which is unique among live writers (the
+    orchestrator writes under the epoch it was fenced at, each
+    sweeper under the strictly higher epoch it claimed).
+    """
+    name = REC_NAME if tag is None else "%s.%d" % (REC_NAME, tag)
+    tmp = "%s/%s.tmp" % (directory, name)
     result = yield from write_file(tmp, record.pack(), mode=0o644)
     if iserr(result):
         return result
@@ -206,6 +217,15 @@ def ledger_advance(directory, record, phase, fence_epoch=None):
     has been superseded by a recovery sweep and must stand down — or
     -errno when the ledger directory is unreachable.  The write also
     refreshes the record's timestamp, restarting its staleness clock.
+
+    The fence is checked on *both* sides of the write: the
+    readdir/rename pair is not atomic, so a claim created in between
+    is invisible to the first check and this write may overwrite the
+    claimant's record.  The post-write re-check turns that into a
+    stand-down — the brief wrong record is harmless because a
+    claiming sweeper re-reads the record *after* its claim and every
+    sweep settles against reality (the destination probe), never the
+    record alone.
     """
     yield ("fault_point", "ledger.advance", PHASE_NAMES[phase])
     fence = record.epoch if fence_epoch is None else fence_epoch
@@ -216,9 +236,14 @@ def ledger_advance(directory, record, phase, fence_epoch=None):
         return LEDGER_FENCED
     record.phase = phase
     record.time_s = yield ("time",)
-    result = yield from _write_rec(directory, record)
+    result = yield from _write_rec(directory, record, tag=fence)
     if iserr(result):
         return result
+    names = yield ("readdir", directory)
+    if iserr(names):
+        return names  # written but unverifiable: report unreachable
+    if highest_claim(names) > fence:
+        return LEDGER_FENCED
     yield ("perf_note", "ml_advances")
     yield ("trace_mark", "migrate", "ledger-" + PHASE_NAMES[phase],
            record.mig_id())

@@ -32,13 +32,22 @@ survives the heal.
 ``-m ledgerdir`` adds the **migration-ledger sweep** (DESIGN.md
 section 12): each round also walks the migration intent ledger and
 settles every record whose orchestrator is suspected dead (or that
-has simply gone stale).  A claimed record is resolved by looking at
+has simply gone stale).  A claimed record is re-read (the claim only
+fences the orchestrator's *next* advance) and resolved by looking at
 reality — if the destination already runs the migrated copy the
 record is marked DONE; if a crash hit before the dump was captured
-the intent is aborted (the victim either still runs at home or is the
-one documented loss); otherwise the original dump files are
-neutralised and the job is brought up *here* from its chunk-store
-archive.  Never zero live copies of a captured job, never two.
+the intent is aborted, but only once it is also *stale*, because the
+dumpproc a dead orchestrator fired outlives it and the dump may
+still land (the victim either still runs at home or is the one
+documented loss); otherwise the original dump files are neutralised
+and the job is brought up *here* from its chunk-store archive, with
+the record re-pointed at this host as both destination and
+orchestrator — peers then defer to this sweeper's liveness and
+staleness clock instead of retrying a record forever pinned to the
+dead host.  A sweeper that is itself fenced after its restage kills
+the copy it just made (the EX_FENCED discipline) unless the new
+owner's record shows it committed to that very copy.  Never zero
+live copies of a captured job, never two.
 
 Usage: ``recoveryd [-i interval] [-n rounds] [-m ledgerdir]
 [watchdir]`` (defaults from the ``recovery_interval_s`` /
@@ -49,8 +58,9 @@ from repro.errors import iserr, EIO, ENOENT, UnixError
 from repro.core.formats import (ChunkManifest, FilesInfo, StackInfo,
                                 dump_file_names)
 from repro.kernel.constants import O_CREAT, O_EXCL, O_RDONLY, O_WRONLY
-from repro.net.migledger import (OK_NAME, PH_ABORTED, PH_DONE,
-                                 PH_INTENT, PH_RESTARTING,
+from repro.kernel.signals import SIGKILL
+from repro.net.migledger import (LEDGER_FENCED, OK_NAME, PH_ABORTED,
+                                 PH_DONE, PH_INTENT, PH_RESTARTING,
                                  archive_paths, ledger_advance,
                                  ledger_claim, ledger_read, ledger_reap)
 from repro.programs.base import (parse_options, print_err, println,
@@ -304,6 +314,18 @@ def _sweep_one(directory, local):
         if now - record.time_s <= stale_s:
             return
 
+    ok_stat = yield ("stat", "%s/%s" % (directory, OK_NAME))
+    if record.phase == PH_INTENT and iserr(ok_stat):
+        # an uncaptured intent gets the full staleness grace even
+        # when the orchestrator is suspected: the dumpproc it fired
+        # outlives it on the source, so the dump may still be in
+        # flight — aborting now would reap the record out from under
+        # a dump that then lands with nobody left to restart it
+        now = yield ("time",)
+        stale_s = yield ("sysctl0", "ledger_stale_s")
+        if now - record.time_s <= stale_s:
+            return
+
     # the fence: whoever creates claim.<E> owns the record at epoch E.
     # The orchestrator checks for claims at every phase advance and
     # stands down (EX_FENCED) once one exists.
@@ -311,12 +333,24 @@ def _sweep_one(directory, local):
     if iserr(epoch):
         return  # lost the race, or the server is unreachable
 
+    # the claim only fences the orchestrator's *next* advance; one
+    # already past its fence check may still land.  Re-read so this
+    # sweep acts on the last state anybody managed to publish.
+    record = yield from ledger_read(directory)
+    if iserr(record):
+        return
+    if record.phase in (PH_DONE, PH_ABORTED):
+        yield from ledger_reap(directory)
+        return
+
     ok_stat = yield ("stat", "%s/%s" % (directory, OK_NAME))
     if record.phase == PH_INTENT and iserr(ok_stat):
         # the crash hit before the dump was captured: nothing exists
         # to restart from.  Either SIGDUMP never landed (the victim
         # still runs at home, untouched) or the victim died mid-dump
-        # — the one documented loss.  Abort the intent.
+        # — the one documented loss.  Abort the intent.  (The kernel
+        # refuses to commit an archive once the record is reaped, so
+        # a dump still racing this abort fails and spares its victim.)
         result = yield from ledger_advance(directory, record,
                                            PH_ABORTED,
                                            fence_epoch=epoch)
@@ -345,10 +379,15 @@ def _sweep_one(directory, local):
     # no copy at the destination: make sure a straggling restart can
     # never produce one (the originals are its only source), then
     # bring the job up *here* from the chunk-store archive.  The
-    # record is re-pointed at this host *before* the restage so any
-    # later sweeper's probe looks at the right destination.
+    # record is re-pointed at this host *before* the restage: this
+    # sweeper becomes the migration's orchestrator (so peers judge
+    # eligibility against a live daemon's host and staleness clock,
+    # not the dead orchestrator's) as well as its destination (so
+    # any later probe looks at the right host).
     yield from _neutralize(record, local)
     record.destination = local
+    record.orchestrator = local
+    record.epoch = epoch
     result = yield from ledger_advance(directory, record,
                                        PH_RESTARTING,
                                        fence_epoch=epoch)
@@ -361,11 +400,36 @@ def _sweep_one(directory, local):
         return  # the record stands; a later round (or peer) retries
     result = yield from ledger_advance(directory, record, PH_DONE,
                                        fence_epoch=epoch)
-    if result == 0:
-        yield ("perf_note", "ml_sweeps")
-        yield from ledger_reap(directory)
-    yield from println("recoveryd: recovered %s on %s, pid %d epoch %d"
-                       % (record.mig_id(), local, new_pid, epoch))
+    if result == LEDGER_FENCED:
+        # superseded after the restage: a later claim owns the record
+        # now.  Unless its owner already committed to *this* copy
+        # (record gone or DONE), mirror EX_FENCED and kill it — the
+        # new owner settles from its own probe and must never find
+        # a second copy racing its restage.
+        record = yield from ledger_read(directory)
+        if not iserr(record) and record.phase == PH_DONE \
+                and record.destination == local:
+            yield from println("recoveryd: recovered %s on %s as "
+                               "pid %d, epoch %d"
+                               % (record.mig_id(), local, new_pid,
+                                  epoch))
+            return
+        if iserr(record) and record == -ENOENT:
+            return  # reaped: the claimant committed to this copy
+        yield ("kill", new_pid, SIGKILL)
+        yield ("reap",)
+        yield from print_err("recoveryd: fenced after restage of %s; "
+                             "killed local pid %d" % (directory,
+                                                      new_pid))
+        return
+    if result != 0:
+        return  # unreachable server: the record stands, the copy is
+                # live here, and a later probe settles it as DONE
+    yield ("perf_note", "ml_sweeps")
+    yield from ledger_reap(directory)
+    yield from println("recoveryd: recovered %s on %s as pid %d, "
+                       "epoch %d" % (record.mig_id(), local, new_pid,
+                                     epoch))
 
 
 def _probe_destination(record, local):

@@ -347,3 +347,195 @@ def test_orchestrator_death_recovers_the_job_with_the_ledger(engine):
     assert site.cluster.perf.ml_sweeps == 1
     assert "recoveryd: recovered brick:%d" % victim.pid \
         in site.console("tanker")
+
+
+# -- unit drives: fence atomicity and the fenced-restage discipline --------
+#
+# These run the ledger coroutines against a scripted kernel, pinning
+# windows the integration matrix cannot schedule deterministically: a
+# claim landing *inside* an advance's check-then-rename pair, and a
+# sweeper fenced between its restage and its DONE advance.
+
+from repro.core.formats import (ChunkManifest, FilesInfo,  # noqa: E402
+                                dump_file_names)
+from repro.kernel.constants import O_RDONLY  # noqa: E402
+from repro.kernel.signals import SIGKILL  # noqa: E402
+from repro.net.migledger import (LEDGER_FENCED, MigRecord,  # noqa: E402
+                                 PH_DONE, PH_DUMPED, PH_RESTARTING,
+                                 ledger_advance)
+from repro.programs.recoveryd import _sweep_one  # noqa: E402
+from repro.store import DIGEST_BYTES  # noqa: E402
+
+
+def _drive(gen, handler):
+    """Run a syscall coroutine against ``handler``; (value, calls)."""
+    calls = []
+    try:
+        request = next(gen)
+        while True:
+            calls.append(request)
+            request = gen.send(handler(request))
+    except StopIteration as done:
+        return done.value, calls
+
+
+def test_advance_tags_scratch_file_with_the_fence_epoch():
+    """Concurrent writers must not share one scratch name: each
+    advance stages through rec.<fence>.tmp, unique among live
+    writers (rec.tmp would let a loser's rename ship the winner's
+    bytes)."""
+    record = MigRecord("brick", 7, "schooner", "tanker",
+                       phase=PH_DUMPED)
+
+    def handler(request):
+        if request[0] == "readdir":
+            return ("rec",)
+        if request[0] == "time":
+            return 42
+        if request[0] == "open":
+            return 3
+        if request[0] == "write":
+            return len(request[2])
+        return 0
+
+    result, calls = _drive(
+        ledger_advance("L", record, PH_RESTARTING, fence_epoch=5),
+        handler)
+    assert result == 0
+    opens = [c for c in calls if c[0] == "open"]
+    assert opens[0][1] == "L/rec.5.tmp"
+    assert ("rename", "L/rec.5.tmp", "L/rec") in calls
+
+
+def test_advance_stands_down_when_claimed_mid_write():
+    """A claim created between the advance's pre-check readdir and
+    its rename is invisible to the first check; the post-write
+    re-check must turn it into a stand-down instead of letting a
+    fenced writer keep driving the pipeline."""
+    record = MigRecord("brick", 7, "schooner", "tanker",
+                       phase=PH_DUMPED)
+    readdirs = [("rec",), ("rec", "claim.1")]
+
+    def handler(request):
+        if request[0] == "readdir":
+            return readdirs.pop(0)
+        if request[0] == "time":
+            return 42
+        if request[0] == "open":
+            return 3
+        if request[0] == "write":
+            return len(request[2])
+        return 0
+
+    result, calls = _drive(ledger_advance("L", record, PH_DONE),
+                           handler)
+    assert result == LEDGER_FENCED
+    assert not readdirs, "the post-write fence re-check never ran"
+    # the (unavoidable) write happened but was never advertised
+    assert not any(c[0] == "perf_note" for c in calls)
+
+
+class _SweepScript:
+    """A scripted kernel for one ``_sweep_one`` run.
+
+    The record (brick:7 -> schooner, orchestrator dead) is at DUMPED
+    with its archive committed; every probe comes back clear, the
+    restage succeeds, and then the DONE advance finds ``claim.2`` —
+    a peer superseded this sweeper mid-restage.  ``final_record`` is
+    what the fenced sweeper re-reads.
+    """
+
+    DIRECTORY = "%s/brick:7" % LEDGER_DIR
+
+    def __init__(self, final_record):
+        base = MigRecord("brick", 7, "schooner", "gone",
+                         phase=PH_DUMPED, epoch=0, time_s=0)
+        self.rec_blobs = [base.pack(), base.pack(),
+                          final_record.pack()]
+        digests = [bytes([i]) * DIGEST_BYTES for i in (1, 2, 3)]
+        files_blob = FilesInfo(hostname="brick", cwd="/tmp").pack()
+        self.store = {digests[0]: b"AOUT",
+                      digests[1]: files_blob,
+                      digests[2]: b"STK!"}
+        self.manifests = {
+            "%s/dump.aout" % self.DIRECTORY:
+                ChunkManifest(4096, 4, digests[:1]).pack(),
+            "%s/dump.files" % self.DIRECTORY:
+                ChunkManifest(4096, len(files_blob),
+                              digests[1:2]).pack(),
+            "%s/dump.stack" % self.DIRECTORY:
+                ChunkManifest(4096, 4, digests[2:]).pack(),
+        }
+        names = ("rec", "dump.aout", "dump.files", "dump.stack",
+                 "dump.ok")
+        self.readdirs = [names,                           # claim
+                         names + ("claim.1",),            # RESTARTING pre
+                         names + ("claim.1",),            # RESTARTING post
+                         names + ("claim.1", "claim.2")]  # DONE: fenced
+        self.fds = {}
+        self.next_fd = 3
+
+    def __call__(self, request):
+        name = request[0]
+        if name == "readdir":
+            return self.readdirs.pop(0)
+        if name == "hb_status":
+            return 1  # orchestrator and destination both suspected
+        if name == "stat":
+            return 0  # dump.ok present (never used as an object)
+        if name == "time":
+            return 100
+        if name == "sysctl":
+            return {"restart_poll_tries": 1,
+                    "restart_poll_sleep_s": 0}[request[1]]
+        if name == "open":
+            path, flags = request[1], request[2]
+            if path == dump_file_names(7)[0] and flags == O_RDONLY:
+                return -2  # -ENOENT: the restart consumed the dump
+            if path.endswith("/rec"):
+                blob = self.rec_blobs.pop(0)
+            else:
+                blob = self.manifests.get(path, b"")
+            fd, self.next_fd = self.next_fd, self.next_fd + 1
+            self.fds[fd] = blob
+            return fd
+        if name == "read":
+            data, self.fds[request[1]] = self.fds[request[1]], b""
+            return data
+        if name == "write":
+            return len(request[2])
+        if name == "store_get":
+            return self.store[request[1]]
+        if name == "spawn":
+            return 99  # the restart child's pid
+        return 0
+
+
+def test_sweeper_fenced_after_restage_kills_its_copy():
+    """The exactly-once discipline when a peer claims mid-restage:
+    unless the new owner's record shows it committed to this very
+    copy, the superseded sweeper must kill the copy it just made —
+    the peer probed 'clear' before the copy appeared and is restaging
+    its own."""
+    claimant = MigRecord("brick", 7, "brick", "brick",
+                         phase=PH_RESTARTING, epoch=2, time_s=101)
+    script = _SweepScript(claimant)
+    result, calls = _drive(_sweep_one(script.DIRECTORY, "tanker"),
+                           script)
+    assert ("kill", 99, SIGKILL) in calls
+    # fenced: neither counted as a sweep nor reaped (not ours to reap)
+    assert ("perf_note", "ml_sweeps") not in calls
+    assert not any(c[0] == "unlink" and c[1].endswith("/rec")
+                   for c in calls)
+
+
+def test_sweeper_fenced_after_commit_to_its_copy_keeps_it():
+    """The flip side: the later claimant probed the copy live and
+    committed DONE to it — killing it then would leave zero live
+    copies, so the superseded sweeper keeps it."""
+    committed = MigRecord("brick", 7, "tanker", "brick",
+                          phase=PH_DONE, epoch=2, time_s=101)
+    script = _SweepScript(committed)
+    result, calls = _drive(_sweep_one(script.DIRECTORY, "tanker"),
+                           script)
+    assert not any(c[0] == "kill" for c in calls)

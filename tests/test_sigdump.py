@@ -214,3 +214,59 @@ def test_dump_timing_magnitude(dumped):
     # measured in the fig2 bench; here just sanity-check the scale
     # via the terminate timestamp recorded in CPU accounting
     assert 0.01 < handle.proc.stime_us / 1e6 < 2.0
+
+
+# -- the ledgered archive window (DESIGN.md section 12) --------------------
+
+
+@pytest.fixture
+def armed(brick, cluster):
+    """The counter at its prompt, with a ledger record dir on disk."""
+    brick.install_aout("counter", counter_aout())
+    handle = brick.spawn("/bin/counter", uid=100, cwd="/tmp")
+    cluster.run_until(lambda: brick.console_text().count("> ") >= 1)
+    brick.fs.makedirs("/tmp/migrec", mode=0o777)
+    return brick, cluster, handle
+
+
+def _record_dir_entries(brick):
+    return sorted(brick.fs.entry_names(
+        brick.fs.resolve_local("/tmp/migrec")))
+
+
+def test_ledgered_dump_archives_into_its_record_dir(armed):
+    brick, cluster, handle = armed
+    brick.fs.install_file("/tmp/migrec/rec", b"intent")
+    brick.kernel.sys_dump_ledger(handle.proc, handle.pid,
+                                 "/tmp/migrec")
+    brick.kernel.post_signal(handle.proc, SIGDUMP)
+    cluster.run_until(lambda: handle.exited)
+    assert _record_dir_entries(brick) == ["dump.aout", "dump.files",
+                                          "dump.ok", "dump.stack",
+                                          "rec"]
+
+
+def test_reaped_record_fails_the_dump_and_disarms_the_ledger(armed):
+    """A record directory without ``rec`` means a recovery sweep
+    aborted the intent and reaped it: committing an archive there
+    would leak files nobody restarts from.  The all-or-nothing dump
+    fails instead (the victim survives), the one-shot arming is
+    consumed either way, and a later *plain* dump of the surviving
+    process must not re-archive into the stale directory."""
+    brick, cluster, handle = armed  # note: no "rec" inside
+    brick.kernel.sys_dump_ledger(handle.proc, handle.pid,
+                                 "/tmp/migrec")
+    brick.kernel.post_signal(handle.proc, SIGDUMP)
+    cluster.run_until(lambda: any(
+        "dump of pid %d failed" % handle.pid in line
+        for line in brick.kernel.messages))
+    assert not handle.exited  # all-or-nothing: the victim survives
+    assert handle.proc.ledger_dir is None  # the arming was consumed
+    assert _record_dir_entries(brick) == []  # no leaked archive
+
+    brick.kernel.post_signal(handle.proc, SIGDUMP)
+    cluster.run_until(lambda: handle.exited)
+    assert handle.proc.dumped
+    assert _record_dir_entries(brick) == []  # still nothing ledgered
+    for path in dump_file_names(handle.pid):
+        assert brick.fs.resolve_local(path).is_reg()
