@@ -175,6 +175,37 @@ class MigrationSite:
                 uid=uid, cwd="/tmp"))
         return handles
 
+    def start_statd(self, hosts=None, interval=None, rounds=None,
+                    uid=0):
+        """Start cluster telemetry (DESIGN.md section 13): the
+        ``statd-recv`` spooler on the file server plus one ``statd``
+        per host.
+
+        Returns the SpawnHandles (spooler first).  Doubly opt-in: a
+        site that never calls this runs byte-identically to one built
+        before statd existed, and even a started statd exits
+        immediately unless the ``stat_interval_s`` knob (or
+        ``interval``) is positive.
+        """
+        hosts = list(hosts) if hosts is not None else \
+            [name for name in self.cluster.hosts()
+             if name != self.server_name]
+        argv_tail = []
+        if interval is not None:
+            argv_tail += ["-i", str(interval)]
+        if rounds is not None:
+            argv_tail += ["-n", str(rounds)]
+        handles = []
+        if self.server_name:
+            handles.append(self.machine(self.server_name).spawn(
+                "/bin/statd-recv", ["statd-recv"], uid=uid,
+                cwd="/tmp"))
+        for name in hosts:
+            handles.append(self.machine(name).spawn(
+                "/bin/statd", ["statd"] + argv_tail, uid=uid,
+                cwd="/tmp"))
+        return handles
+
     # -- inspection helpers --------------------------------------------------------------
 
     def find_restarted(self, host):

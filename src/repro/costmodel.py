@@ -160,6 +160,28 @@ class CostModel:
     loadd_high_watermark: int = 2  #: watermark policy: shed above
     loadd_low_watermark: int = 1  #: watermark policy: feed below
 
+    # --- statd cluster telemetry (DESIGN.md section 13, not costs) ------
+    #: knobs read by the statd daemon via zero-cost ``sysctl0``.  The
+    #: whole subsystem is doubly opt-in: the daemon is only spawned by
+    #: ``MigrationSite.start_statd`` and exits immediately unless
+    #: ``stat_interval_s`` is set positive, so default-mode runs,
+    #: figures and traces are byte-identical with or without it.
+    stat_interval_s: float = 0.0  #: seconds between samples (0 = off)
+    stat_rounds: int = 10  #: sampling rounds before statd exits
+    stat_stale_s: float = 30.0  #: spooled reports older than this are
+    #: aged out by the spooler — a crashed peer disappears from migtop
+    stat_series_len: int = 32  #: ring capacity per series (power of 2)
+    #: where statd ships reports: a per-host directory on the file
+    #: server, outside /tmp so a server reboot keeps the history
+    stat_spool_dir: str = "/n/brador/usr/spool/statd"
+    # --- SLO thresholds for the critical-path analyzer ------------------
+    #: alert when the p95 end-to-end migration latency exceeds this
+    slo_migrate_p95_us: float = 45_000_000.0
+    #: alert when this many peers are currently suspected dead
+    slo_hb_suspects: int = 1
+    #: alert when an in-flight ledger record has gone unswept this long
+    slo_ledger_sweep_age_s: float = 60.0
+
     # --- tty ----------------------------------------------------------
     tty_char_us: float = 90.0  #: per character through the tty queue
     tty_ioctl_us: float = 200.0  #: get/set terminal modes

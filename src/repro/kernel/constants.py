@@ -71,3 +71,5 @@ CHUNK_MAGIC = 0o446
 LOADREPORT_MAGIC = 0o447
 #: the migration intent-ledger record format (DESIGN.md section 12)
 MIGLEDGER_MAGIC = 0o450
+#: the statd STATREPORT telemetry wire format (DESIGN.md section 13)
+STATREPORT_MAGIC = 0o451

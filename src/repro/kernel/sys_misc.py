@@ -143,10 +143,12 @@ class MiscSyscalls:
         return value
 
     #: perf counters user commands may bump via ``perf_note``: the
-    #: pipeline-hardening trio, loadd's ``ld_*`` family and the
+    #: pipeline-hardening trio, loadd's ``ld_*`` family, the
     #: migration ledger's ``ml_*`` family (``ml_archives`` stays
-    #: kernel-private — only the dump writer archives).  The engine
-    #: counters stay kernel-private.
+    #: kernel-private — only the dump writer archives) and statd's
+    #: ``st_*`` family (``st_alerts`` stays kernel-private — only the
+    #: critical-path analyzer raises alerts).  The engine counters
+    #: stay kernel-private.
     _PERF_NOTE_COUNTERS = frozenset({
         "retries", "timeouts", "recoveries",
         "ld_reports_sent", "ld_reports_recv", "ld_reports_dropped",
@@ -154,6 +156,9 @@ class MiscSyscalls:
         "ld_moves", "ld_move_failures",
         "ml_records", "ml_advances", "ml_claims", "ml_completions",
         "ml_aborts", "ml_sweeps", "ml_reaps",
+        "st_samples", "st_series_points", "st_reports_sent",
+        "st_reports_recv", "st_reports_dropped", "st_stale_drops",
+        "st_suspect_skips",
     })
 
     def sys_perf_note(self, proc, counter, amount=1):
@@ -184,7 +189,7 @@ class MiscSyscalls:
         Only the high-level pipeline categories are writable from
         userland; the kernel-owned categories stay kernel-private.
         """
-        if cat not in ("migrate", "recovery", "loadd"):
+        if cat not in ("migrate", "recovery", "loadd", "statd"):
             raise UnixError(EINVAL, "trace_mark category %r" % (cat,))
         if not isinstance(name, str) or not name:
             raise UnixError(EINVAL, "trace_mark name %r" % (name,))
@@ -200,7 +205,7 @@ class MiscSyscalls:
     def sys_trace_span(self, proc, cat, which, mig, ok=1):
         """Open (``which="B"``) or close (``"E"``) a span from a user
         command — how ``migrate`` brackets its end-to-end phase."""
-        if cat not in ("migrate", "recovery", "loadd"):
+        if cat not in ("migrate", "recovery", "loadd", "statd"):
             raise UnixError(EINVAL, "trace_span category %r" % (cat,))
         if which not in ("B", "E"):
             raise UnixError(EINVAL, "trace_span %r" % (which,))
@@ -240,20 +245,60 @@ class MiscSyscalls:
         self.charge(self.costs.filetable_op_us * max(1, len(rows)))
         return rows
 
-    # -- userland fault sites (loadd, the migration ledger) ------------------
+    # -- cluster telemetry (DESIGN.md section 13) ----------------------------
+
+    def sys_statgauges(self, proc):
+        """This host's kernel gauges for statd's sampling round.
+
+        The scheduler/proc-table/socket numbers a real statd would
+        pull out of /dev/kmem with nlist(): runnable queue depth,
+        live (non-zombie) processes, bound sockets, and how many
+        peers the failure detector currently suspects.
+        """
+        from repro.kernel.constants import SRUN, SZOMB
+        runq = sum(1 for entry in self.scheduler.runq
+                   if entry.state == SRUN)
+        procs = sum(1 for entry in self.procs.all_procs()
+                    if entry.state != SZOMB)
+        suspects = len(self.hb_monitor.suspected) \
+            if self.hb_monitor is not None else 0
+        self.charge(self.costs.filetable_op_us * 4)
+        return {"runq": runq, "procs": procs,
+                "socks": len(self.machine.ports),
+                "hb_suspects": suspects}
+
+    def sys_critpath(self, proc):
+        """The migration critical-path report, for migtop(1).
+
+        Aggregates every recorded migration timeline into per-phase
+        p50/p95/max breakdowns with host/pair rollups, then evaluates
+        the SLO thresholds (raising ``alert`` trace events).  Purely
+        a function of the recorded trace and cluster state, so the
+        report is byte-identical across engines.
+        """
+        from repro.obs.critpath import critical_path_report, slo_alerts
+        cluster = self.machine.cluster
+        report = critical_path_report(cluster)
+        report["alerts"] = slo_alerts(cluster, report, self.machine,
+                                      int(self.clock.seconds()))
+        self.charge(self.costs.filetable_op_us
+                    * max(1, 8 * report["migrations"]))
+        return report
+
+    # -- userland fault sites (loadd, the migration ledger, statd) -----------
 
     #: userland site namespaces: daemons and tools coded as native
     #: programs may evaluate sites here, but cannot spoof kernel sites
-    _FAULT_NAMESPACES = ("loadd.", "ledger.")
+    _FAULT_NAMESPACES = ("loadd.", "ledger.", "statd.")
 
     def sys_fault_point(self, proc, site, detail=""):
         """Evaluate a *userland* fault-injection site.
 
         Daemons coded as native programs have no kernel write path of
         their own to hang fault sites on, so this call lets them ask
-        the injector directly — restricted to the ``loadd.`` and
-        ``ledger.`` site namespaces so userland cannot spoof kernel
-        sites.  Armed fail rules surface as the rule's errno;
+        the injector directly — restricted to the ``loadd.``,
+        ``ledger.`` and ``statd.`` site namespaces so userland cannot
+        spoof kernel sites.  Armed fail rules surface as the rule's errno;
         delay/crash/partition behave exactly as at kernel sites.
         """
         if not isinstance(site, str) \

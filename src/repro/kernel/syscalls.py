@@ -306,8 +306,8 @@ _NATIVE_SIMPLE = {
     "daemon_setup", "chmod", "chown", "access", "link", "rename",
     "read_timeout", "reap", "sysctl", "perf_note", "hb_start",
     "hb_status", "readdir", "trace_status", "trace_mark",
-    "trace_span", "migstat", "fault_point", "fault_data",
-    "dump_ledger", "store_get",
+    "trace_span", "migstat", "statgauges", "critpath",
+    "fault_point", "fault_data", "dump_ledger", "store_get",
 }
 
 

@@ -8,8 +8,11 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.export import (to_jsonl, write_jsonl, to_chrome,
                               validate_chrome)
 from repro.obs.tracer import Tracer, CATEGORIES, dump_migration_id
+from repro.obs.timeseries import Series, SeriesSet
+from repro.obs.critpath import critical_path_report, slo_alerts
 
 __all__ = [
     "MetricsRegistry", "Tracer", "CATEGORIES", "dump_migration_id",
     "to_jsonl", "write_jsonl", "to_chrome", "validate_chrome",
+    "Series", "SeriesSet", "critical_path_report", "slo_alerts",
 ]

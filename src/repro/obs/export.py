@@ -29,9 +29,14 @@ def write_jsonl(events, path):
     return len(events)
 
 
-def to_chrome(events):
+def to_chrome(events, metrics=None):
     """Render events as a Chrome ``trace_event`` document (a dict;
-    ``json.dump`` it into a ``.json`` file for chrome://tracing)."""
+    ``json.dump`` it into a ``.json`` file for chrome://tracing).
+
+    With ``metrics`` (a :meth:`~repro.obs.metrics.MetricsRegistry.
+    snapshot` dict) the registry's counter series additionally appear
+    as ``"ph": "C"`` counter events on a synthetic pid-0 "cluster"
+    track, so metric values are visible on the Chrome timeline."""
     hosts = sorted({event["host"] for event in events})
     pids = {host: index + 1 for index, host in enumerate(hosts)}
     out = []
@@ -53,6 +58,20 @@ def to_chrome(events):
         else:
             base.update(ph="i", s="p")
         out.append(base)
+    counters = (metrics or {}).get("counters") or {}
+    if counters:
+        out.append({"ph": "M", "pid": 0, "tid": 0,
+                    "name": "process_name",
+                    "args": {"name": "cluster"}})
+        last_ts = max((event["ts"] for event in events), default=0)
+        for name in sorted(counters):
+            value = counters[name]
+            if isinstance(value, bool) \
+                    or not isinstance(value, (int, float)):
+                continue
+            out.append({"ph": "C", "pid": 0, "tid": 0,
+                        "ts": last_ts, "cat": "metric",
+                        "name": name, "args": {"value": value}})
     return {"traceEvents": out, "displayTimeUnit": "ms"}
 
 
@@ -71,7 +90,18 @@ def validate_chrome(doc):
             if key not in event:
                 raise ValueError("event missing %r: %r" % (key, event))
         ph = event["ph"]
-        if ph == "b":
+        if ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError("counter event without args: %r"
+                                 % (event,))
+            for value in args.values():
+                if isinstance(value, bool) \
+                        or not isinstance(value, (int, float)):
+                    raise ValueError(
+                        "counter value must be numeric: %r"
+                        % (event,))
+        elif ph == "b":
             open_spans.setdefault(
                 (event["id"], event["name"], event["pid"]),
                 []).append(event["ts"])

@@ -1,0 +1,147 @@
+"""Fixed-size ring-buffer time series with power-of-two bucketing.
+
+The telemetry store behind ``statd`` (DESIGN.md section 13): each
+gauge or counter-delta a host samples becomes a :class:`Series` — a
+ring buffer of ``(time_s, value)`` pairs whose capacity is a power of
+two, so the ring index is a cheap mask and the memory cost of a
+cluster's whole telemetry history is fixed and known in advance.
+Values are bucketed by power of two exactly like the engine's
+burst-length histogram and the metrics registry, which keeps samples
+of wildly different magnitudes readable on one ``migtop`` sparkline.
+
+Like every observability structure, a series only records numbers
+the simulation already computed — it may never influence virtual
+time.  Snapshots are deterministically ordered so they can ride
+along in engine-comparison fingerprints.
+"""
+
+#: the sparkline ramp, one glyph per power-of-two bucket (clamped)
+SPARK_RAMP = " .:-=+*#%@"
+
+
+def bucket_of(value):
+    """The power-of-two bucket of ``value`` (0, [1], [2-3], [4-7]...)."""
+    return max(0, int(value)).bit_length()
+
+
+class Series:
+    """One named metric's ring-buffered history."""
+
+    def __init__(self, name, capacity=32):
+        if capacity <= 0 or capacity & (capacity - 1):
+            raise ValueError("series capacity must be a power of two, "
+                             "got %r" % (capacity,))
+        self.name = name
+        self.capacity = capacity
+        self._ring = [None] * capacity
+        self.count = 0  #: samples ever recorded (not just retained)
+
+    def record(self, time_s, value):
+        """Append one sample; values clamp to a non-negative u32."""
+        value = max(0, min(int(value), (1 << 32) - 1))
+        time_s = max(0, min(int(time_s), (1 << 32) - 1))
+        self._ring[self.count & (self.capacity - 1)] = (time_s, value)
+        self.count += 1
+
+    @classmethod
+    def restore(cls, name, capacity, total, samples):
+        """Rebuild a series from a snapshot: the retained samples plus
+        the all-time count.  The ring is pre-rolled so ``samples()``
+        returns the snapshot in order; when the snapshot cannot be
+        rolled faithfully (a crafted report whose retained length
+        matches neither ``total`` nor ``capacity``), the all-time
+        count clamps to the retained length instead of leaving holes
+        in the ring."""
+        series = cls(name, capacity)
+        start = total - len(samples)
+        if start < 0 or (start and len(samples) < capacity):
+            start = 0
+        series.count = start
+        for time_s, value in samples:
+            series.record(time_s, value)
+        return series
+
+    def samples(self):
+        """Retained ``(time_s, value)`` pairs, oldest first."""
+        if self.count <= self.capacity:
+            return [s for s in self._ring[:self.count]]
+        start = self.count & (self.capacity - 1)
+        return self._ring[start:] + self._ring[:start]
+
+    def values(self):
+        return [value for __, value in self.samples()]
+
+    def last(self):
+        """The newest sample's value, or 0 when empty."""
+        samples = self.samples()
+        return samples[-1][1] if samples else 0
+
+    def buckets(self):
+        """Power-of-two histogram of retained values: exponent->count."""
+        out = {}
+        for value in self.values():
+            bucket = bucket_of(value)
+            out[bucket] = out.get(bucket, 0) + 1
+        return out
+
+    def sparkline(self):
+        """One glyph per retained sample, by power-of-two bucket."""
+        top = len(SPARK_RAMP) - 1
+        return "".join(SPARK_RAMP[min(bucket_of(value), top)]
+                       for value in self.values())
+
+    def snapshot(self):
+        """A JSON-ready dict (deterministic field order)."""
+        return {"name": self.name, "count": self.count,
+                "samples": [[t, v] for t, v in self.samples()]}
+
+    def __repr__(self):
+        return ("Series(%s, %d/%d, last=%d)"
+                % (self.name, min(self.count, self.capacity),
+                   self.capacity, self.last()))
+
+
+class SeriesSet:
+    """An insertion-ordered collection of same-capacity series."""
+
+    def __init__(self, capacity=32):
+        if capacity <= 0 or capacity & (capacity - 1):
+            raise ValueError("series capacity must be a power of two, "
+                             "got %r" % (capacity,))
+        self.capacity = capacity
+        self._series = {}  #: name -> Series, insertion ordered
+
+    def record(self, name, time_s, value):
+        """Record into ``name``, creating the series on first use."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = Series(name, self.capacity)
+        series.record(time_s, value)
+        return series
+
+    def add(self, series):
+        """Install a fully-built :class:`Series` (same capacity)."""
+        if series.capacity != self.capacity:
+            raise ValueError("capacity mismatch: %d != %d"
+                             % (series.capacity, self.capacity))
+        self._series[series.name] = series
+        return series
+
+    def get(self, name):
+        return self._series.get(name)
+
+    def names(self):
+        return list(self._series)
+
+    def series(self):
+        return list(self._series.values())
+
+    def snapshot(self):
+        return [series.snapshot() for series in self._series.values()]
+
+    def __len__(self):
+        return len(self._series)
+
+    def __repr__(self):
+        return "SeriesSet(%d series, capacity=%d)" % (
+            len(self._series), self.capacity)

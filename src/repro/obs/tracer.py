@@ -42,6 +42,8 @@ CATEGORIES = frozenset({
     "recovery",  # recoveryd claiming + restarting a lost job
     "chunk",     # chunk-store puts/gets/dedup hits + lazy fault-ins
     "loadd",     # loadd balance-decision spans + move marks
+    "statd",     # statd sampling marks (cluster telemetry)
+    "alert",     # SLO threshold breaches raised by the analyzer
 })
 
 #: the migration-phase timeline, as (category, name, span, phase).
@@ -212,7 +214,8 @@ class Tracer:
         return export.to_jsonl(self.events)
 
     def to_chrome(self):
-        return export.to_chrome(self.events)
+        return export.to_chrome(
+            self.events, self.cluster.perf.metrics.snapshot())
 
     def __repr__(self):
         state = ("on:%s" % ",".join(sorted(self.categories))

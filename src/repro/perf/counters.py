@@ -72,6 +72,17 @@ COUNTER_DOCS = {
     "ml_aborts": "migrations aborted or rolled back to their source",
     "ml_sweeps": "in-flight records resolved by the recovery sweep",
     "ml_reaps": "settled ledger records reaped",
+    "st_samples": "telemetry sampling rounds completed by all statds",
+    "st_series_points": "samples recorded into time-series rings",
+    "st_reports_sent": "stat reports statd shipped to the spooler",
+    "st_reports_recv": "stat reports statd-recv accepted and spooled",
+    "st_reports_dropped": "stat reports lost, refused, corrupt or "
+                          "unparsable",
+    "st_stale_drops": "spooled stat reports aged out past "
+                      "stat_stale_s",
+    "st_suspect_skips": "report shipments skipped because the "
+                        "failure detector suspects the spooler",
+    "st_alerts": "SLO alerts raised by the critical-path analyzer",
 }
 
 #: the labelled metrics the subsystems record into ``perf.metrics``
@@ -184,6 +195,15 @@ class PerfCounters:
         self.ml_aborts = 0  #: migrations aborted / rolled back
         self.ml_sweeps = 0  #: records resolved by the sweep
         self.ml_reaps = 0  #: settled records reaped
+        # statd cluster telemetry
+        self.st_samples = 0  #: sampling rounds completed
+        self.st_series_points = 0  #: ring samples recorded
+        self.st_reports_sent = 0  #: reports shipped to the spooler
+        self.st_reports_recv = 0  #: reports accepted + spooled
+        self.st_reports_dropped = 0  #: reports lost/refused/corrupt
+        self.st_stale_drops = 0  #: spooled reports aged out
+        self.st_suspect_skips = 0  #: shipments skipped (suspect)
+        self.st_alerts = 0  #: SLO alerts raised by the analyzer
         #: labelled counters and virtual-time histograms (per-host,
         #: per-phase statistics the flat counters cannot express)
         self.metrics = MetricsRegistry()
@@ -287,6 +307,14 @@ class PerfCounters:
             "ml_aborts": self.ml_aborts,
             "ml_sweeps": self.ml_sweeps,
             "ml_reaps": self.ml_reaps,
+            "st_samples": self.st_samples,
+            "st_series_points": self.st_series_points,
+            "st_reports_sent": self.st_reports_sent,
+            "st_reports_recv": self.st_reports_recv,
+            "st_reports_dropped": self.st_reports_dropped,
+            "st_stale_drops": self.st_stale_drops,
+            "st_suspect_skips": self.st_suspect_skips,
+            "st_alerts": self.st_alerts,
             "metrics": self.metrics.snapshot(),
         }
         if elapsed_s is not None:

@@ -26,6 +26,8 @@ def install_standard_programs(machine):
     from repro.programs.ckptd import ckptd_main
     from repro.programs.recoveryd import recoveryd_main
     from repro.programs.loadd import loadd_main, loadd_recv_main
+    from repro.programs.statd import statd_main, statd_recv_main
+    from repro.programs.migtop import migtop_main
     from repro.programs.coreutils import (echo_main, cat_main,
                                           pwd_main, wc_main,
                                           true_main, false_main)
@@ -55,6 +57,10 @@ def install_standard_programs(machine):
     machine.install_native_program("loadd", loadd_main, size=16384)
     machine.install_native_program("loadd-recv", loadd_recv_main,
                                    size=8192)
+    machine.install_native_program("statd", statd_main, size=16384)
+    machine.install_native_program("statd-recv", statd_recv_main,
+                                   size=8192)
+    machine.install_native_program("migtop", migtop_main, size=8192)
     machine.install_native_program("echo", echo_main, size=2048)
     machine.install_native_program("cat", cat_main, size=4096)
     machine.install_native_program("pwd", pwd_main, size=2048)

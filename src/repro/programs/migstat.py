@@ -12,11 +12,18 @@ The footer reports whether event tracing is currently on (the
 intent ledger (DESIGN.md section 12): one row per record with its
 phase, fencing epoch, endpoints and age — the operator's view of
 what a recovery sweep would find.
+
+``-s`` additionally lists the statd telemetry spool (DESIGN.md
+section 13): one row per reporting host with the virtual age of its
+last report and how many series/samples it carries — the operator's
+view of which hosts' telemetry is flowing.
 """
 
-from repro.errors import iserr, errno_name
+from repro.errors import iserr, errno_name, UnixError
 from repro.net.migledger import PHASE_NAMES, ledger_read
-from repro.programs.base import parse_options, println, print_err
+from repro.net.statd import REPORT_NAME, StatReport
+from repro.programs.base import (parse_options, println, print_err,
+                                 read_file)
 
 _HEADER = ("HOST        UP  DUMPS  RESTARTS  MIGR  RECOV"
            "  CRASH  SUSP")
@@ -25,11 +32,14 @@ _ROW = "%-10s  %2s  %5d  %8d  %4d  %5d  %5d  %4d"
 _LEDGER_HEADER = "LEDGER           PHASE       EPOCH  DEST      ORCH      AGE"
 _LEDGER_ROW = "%-15s  %-10s  %5d  %-8s  %-8s  %ds"
 
+_SPOOL_HEADER = "SPOOL       AGE  SEQ  SERIES  SAMPLES"
+_SPOOL_ROW = "%-10s  %3ds  %3d  %6d  %7d"
+
 
 def migstat_main(argv, env):
-    opts, __ = parse_options(argv, {"-m": False})
+    opts, __ = parse_options(argv, {"-m": False, "-s": False})
     if not isinstance(opts, dict):
-        yield from print_err("usage: migstat [-m]")
+        yield from print_err("usage: migstat [-m] [-s]")
         return 1
     rows = yield ("migstat",)
     if iserr(rows):
@@ -43,6 +53,8 @@ def migstat_main(argv, env):
             row["recoveries"], row["crashes"], row["suspects"]))
     if opts.get("-m"):
         yield from _show_ledger()
+    if opts.get("-s"):
+        yield from _show_spool()
     tracing = yield ("trace_status",)
     yield from println("tracing: %s" % ("on" if tracing == 1
                                         else "off"))
@@ -75,3 +87,33 @@ def _show_ledger():
             max(0, now - record.time_s)))
     if not shown:
         yield from println("migration ledger: empty")
+
+
+def _show_spool():
+    """yield-from: list the statd spool's reports, if any."""
+    spool_dir = yield ("sysctl0", "stat_spool_dir")
+    names = yield ("readdir", spool_dir)
+    if iserr(names):
+        yield from println("no statd spool at %s" % spool_dir)
+        return
+    now = yield ("time",)
+    shown = 0
+    for name in sorted(names):
+        data = yield from read_file("%s/%s/%s"
+                                    % (spool_dir, name, REPORT_NAME))
+        if iserr(data):
+            continue
+        try:
+            report = StatReport.unpack(data)
+        except UnixError:
+            continue  # torn: the spooler will toss it
+        if not shown:
+            yield from println(_SPOOL_HEADER)
+        shown += 1
+        samples = sum(len(samples) for __, __, samples
+                      in report.series)
+        yield from println(_SPOOL_ROW % (
+            report.host, max(0, now - report.time_s), report.seq,
+            len(report.series), samples))
+    if not shown:
+        yield from println("statd spool: empty")

@@ -1,0 +1,243 @@
+"""``statd`` — per-host cluster telemetry (DESIGN.md section 13).
+
+The observability layer of section 9 records flat counters and
+per-run spans inside one process; statd grows it into *cluster*
+telemetry: every sampling interval the daemon snapshots this host's
+kernel gauges (runnable queue depth, live processes, bound sockets,
+heartbeat suspicions — the ``statgauges`` pseudo-call) and the
+per-host deltas of the migration metrics (dumps, restarts,
+migrations, recoveries via ``migstat``) into fixed-size ring-buffer
+time series (:mod:`repro.obs.timeseries`), then ships the whole set
+as one ``STATREPORT`` to the ``statd-recv`` spooler on the file
+server.  ``migtop(1)`` and ``migstat -s`` read the spool; the
+critical-path analyzer (``critpath``) complements it with per-phase
+migration latency attribution.
+
+Like loadd, delivery is best-effort and cheap to lose: a report to a
+heartbeat-suspected spooler is skipped, a failed send is dropped and
+counted, and the spooler ages out peers that stop reporting — a
+crashed host simply disappears from ``migtop`` after
+``stat_stale_s``.  Fault sites ``statd.send`` / ``statd.spool``
+inject loss, delay, corruption, crashes and partitions on either
+side of the exchange.
+
+The subsystem is doubly opt-in: nothing spawns statd except
+``MigrationSite.start_statd``, and even a spawned statd exits
+immediately (silently, EX_OK) unless ``stat_interval_s`` is set
+positive — so default-mode runs are byte-identical with or without
+this module, and every knob read goes through zero-cost ``sysctl0``.
+
+Usage: ``statd [-i interval] [-n rounds]``
+"""
+
+from repro.errors import iserr, UnixError
+from repro.net.migledger import mkdir_p
+from repro.net.statd import (STATD_PORT, SPOOL_DIR, REPORT_NAME,
+                             StatReport)
+from repro.obs.timeseries import SeriesSet
+from repro.programs.base import (parse_options, print_err, read_file,
+                                 write_all, write_file)
+from repro.programs.exitcodes import EX_FAIL, EX_OK
+
+USAGE = "usage: statd [-i interval] [-n rounds]"
+
+#: the kernel gauges sampled each round, in series order
+GAUGES = ("runq", "procs", "socks", "hb_suspects")
+
+#: the migstat columns sampled as per-round deltas, in series order
+DELTAS = ("dumps", "restarts", "migrations", "recoveries")
+
+
+def statd_main(argv, env):
+    options, positional = parse_options(argv, {"-i": True,
+                                               "-n": True})
+    if positional is None:
+        yield from print_err(USAGE)
+        return EX_FAIL
+    try:
+        interval = float(options["-i"]) if "-i" in options \
+            else (yield ("sysctl0", "stat_interval_s"))
+        rounds = int(options["-n"]) if "-n" in options \
+            else (yield ("sysctl0", "stat_rounds"))
+    except ValueError:
+        yield from print_err(USAGE)
+        return EX_FAIL
+    if interval <= 0:
+        return EX_OK  # telemetry is off: leave no trace at all
+    capacity = yield ("sysctl0", "stat_series_len")
+    spool_dir = yield ("sysctl0", "stat_spool_dir")
+    server = None
+    if spool_dir.startswith("/n/"):
+        parts = spool_dir.split("/", 3)
+        if len(parts) >= 3 and parts[2]:
+            server = parts[2]
+
+    yield ("hb_start",)
+    local = yield ("gethostname",)
+    series = SeriesSet(capacity)
+    previous = {}
+    for seq in range(max(1, rounds)):
+        yield ("sleep", interval)
+        now_s = yield ("time",)
+        points = yield from _sample(series, now_s, local, previous)
+        yield ("perf_note", "st_series_points", points)
+        yield ("perf_note", "st_samples")
+        yield ("trace_mark", "statd", "sample",
+               "%s:%d" % (local, seq))
+        report = StatReport.from_series(local, now_s, seq, series)
+        yield from _ship(report, server, local, spool_dir)
+    return EX_OK
+
+
+def _sample(series, now_s, local, previous):
+    """One sampling round: gauges plus migstat deltas; point count."""
+    points = 0
+    gauges = yield ("statgauges",)
+    for key in GAUGES:
+        series.record(key, now_s, gauges[key])
+        points += 1
+    rows = yield ("migstat",)
+    if not iserr(rows):
+        own = next((row for row in rows if row["host"] == local),
+                   None)
+        if own is not None:
+            for key in DELTAS:
+                delta = own[key] - previous.get(key, 0)
+                previous[key] = own[key]
+                series.record(key, now_s, max(0, delta))
+                points += 1
+    return points
+
+
+def _ship(report, server, local, spool_dir):
+    """Deliver one report to the spooler (or spool locally)."""
+    if server is None or server == local:
+        # the spooler's host is this host: skip the wire and spool
+        # straight into the local directory, tmp + rename like the
+        # receiver does
+        local_dir = spool_dir
+        if spool_dir.startswith("/n/"):
+            local_dir = "/" + spool_dir.split("/", 3)[3]
+        yield from _spool(local_dir, report.host, report.pack())
+        yield ("perf_note", "st_reports_sent")
+        return
+    suspected = yield ("hb_status", server)
+    if suspected == 1:
+        yield ("perf_note", "st_suspect_skips")
+        return
+    fate = yield ("fault_point", "statd.send", server)
+    if iserr(fate):
+        yield ("perf_note", "st_reports_dropped")
+        return
+    blob = yield ("fault_data", "statd.send", report.pack(), server)
+    sock = yield ("socket",)
+    result = yield ("connect", sock, server, STATD_PORT)
+    if iserr(result):
+        yield ("close", sock)
+        yield ("perf_note", "st_reports_dropped")
+        return
+    result = yield from write_all(sock, blob)
+    yield ("close", sock)
+    if iserr(result):
+        yield ("perf_note", "st_reports_dropped")
+    else:
+        yield ("perf_note", "st_reports_sent")
+
+
+def _spool(spool_dir, host, blob):
+    """yield-from: write-tmp-rename one report into the spool."""
+    host_dir = "%s/%s" % (spool_dir, host)
+    yield from mkdir_p(host_dir)
+    tmp = "%s/%s.tmp" % (host_dir, REPORT_NAME)
+    result = yield from write_file(tmp, blob, mode=0o644)
+    if iserr(result):
+        return result
+    return (yield ("rename", tmp,
+                   "%s/%s" % (host_dir, REPORT_NAME)))
+
+
+# -- the spooler ------------------------------------------------------------
+
+
+def statd_recv_main(argv, env):
+    """Own the well-known port; spool one report per connection and
+    age stale peers out of the spool."""
+    sock = yield ("socket",)
+    result = yield ("bind", sock, STATD_PORT)
+    if iserr(result):
+        return EX_OK  # a spooler is already running: nothing to do
+    yield ("listen", sock)
+    yield from mkdir_p(SPOOL_DIR)
+    stale_s = yield ("sysctl0", "stat_stale_s")
+    timeout = yield ("sysctl", "net_read_timeout_s")
+    while True:
+        conn = yield ("accept", sock)
+        if iserr(conn):
+            yield ("sleep", 1)  # transient: don't spin hot
+            continue
+        blob = yield from _read_report(conn, timeout)
+        yield ("close", conn)
+        if blob is None:
+            yield ("perf_note", "st_reports_dropped")
+            continue
+        fate = yield ("fault_point", "statd.spool", "")
+        if iserr(fate):
+            yield ("perf_note", "st_reports_dropped")
+            continue
+        blob = yield ("fault_data", "statd.spool", blob, "")
+        try:
+            report = StatReport.unpack(blob)
+        except UnixError:
+            report = None  # torn or doctored: drop, never crash
+        if report is None:
+            yield ("perf_note", "st_reports_dropped")
+            continue
+        result = yield from _spool(SPOOL_DIR, report.host, blob)
+        if iserr(result):
+            yield ("perf_note", "st_reports_dropped")
+            continue
+        yield ("perf_note", "st_reports_recv")
+        yield from _age_out(stale_s)
+
+
+def _age_out(stale_s):
+    """Unlink spooled reports whose senders have gone quiet."""
+    now_s = yield ("time",)
+    names = yield ("readdir", SPOOL_DIR)
+    if iserr(names):
+        return
+    for name in sorted(names):
+        path = "%s/%s/%s" % (SPOOL_DIR, name, REPORT_NAME)
+        data = yield from read_file(path)
+        if iserr(data):
+            continue
+        try:
+            report = StatReport.unpack(data)
+        except UnixError:
+            report = None
+        if report is None or report.host != name:
+            yield ("unlink", path)  # corrupt or misfiled: toss it
+            yield ("perf_note", "st_reports_dropped")
+            continue
+        if max(0, now_s - report.time_s) > stale_s:
+            yield ("unlink", path)
+            yield ("perf_note", "st_stale_drops")
+
+
+def _read_report(conn, timeout):
+    """Read one connection to EOF (bounded); None on timeout/error."""
+    from repro.errors import ETIMEDOUT
+    parts = []
+    total = 0
+    while total <= 16384:  # reports are bounded; don't buffer more
+        data = yield ("read_timeout", conn, 2048, timeout)
+        if data == -ETIMEDOUT:
+            yield ("perf_note", "timeouts")
+            return None
+        if iserr(data):
+            return None
+        if data == b"":
+            return b"".join(parts) if parts else None
+        parts.append(data)
+        total += len(data)
+    return None

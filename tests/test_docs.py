@@ -18,6 +18,8 @@ _MAN_BINARIES = {
     "sh.1.md": "sh",
     "migstat.1.md": "migstat",
     "loadd.8.md": "loadd",
+    "statd.8.md": "statd",
+    "migtop.1.md": "migtop",
 }
 
 

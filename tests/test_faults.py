@@ -702,3 +702,121 @@ def test_double_recovery_race_partition_then_heal():
             "suspects": perf.hb_suspects,
         }
     assert summaries["scan"] == summaries["fast"]
+
+
+# -- statd chaos: the telemetry pipeline under report loss, spool ------------
+#    delays and host crashes (DESIGN.md section 13).  Telemetry is
+#    best-effort by design: every scenario leaves the daemons exiting
+#    cleanly and the cluster scheduling work, and both engines
+#    observe the identical run.
+
+
+STATD_CHAOS_KNOBS = dict(stat_interval_s=1.0, stat_rounds=6,
+                         stat_stale_s=30.0, **FAST_KNOBS)
+
+
+def _statd_scenario(engine, spec, rounds=None):
+    site = MigrationSite(costs=CostModel(**STATD_CHAOS_KNOBS),
+                         engine=engine)
+    site.cluster.tracer.enable(*(TRACE_CATEGORIES + ("statd",)))
+    site.run_quiet()
+    plan = site.cluster.inject_faults(spec, seed=4321)
+    handles = site.start_statd(rounds=rounds)
+    statds = [h for h in handles if h.proc.command == "statd"]
+    names = ("brick", "schooner")
+    site.run_until(
+        lambda: all(h.exited for h, n in zip(statds, names)
+                    if site.machine(n).running),
+        max_steps=120_000_000)
+    site.run(until_us=site.cluster.wall_time_us() + 3_000_000,
+             max_steps=120_000_000)
+    return site, plan, statds
+
+
+def _statd_spool(site):
+    """The spooled report bytes per host, from the server's disk."""
+    from repro.net.statd import SPOOL_DIR, spool_path
+    server = site.machine("brador")
+    spool = {}
+    for name in ("brick", "schooner"):
+        try:
+            spool[name] = server.fs.read_file(
+                spool_path(SPOOL_DIR, name))
+        except UnixError:
+            spool[name] = None
+    return spool
+
+
+def _summarize_statd(site, plan, handles):
+    perf = site.cluster.perf
+    snapshot = perf.snapshot()
+    return {
+        "statuses": tuple(h.exit_status if h.exited else None
+                          for h in handles),
+        "alive": tuple(n for n in ("brick", "schooner", "brador")
+                       if site.machine(n).running),
+        "fired": plan.fired(),
+        "spool": _statd_spool(site),
+        "st": {k: v for k, v in snapshot.items()
+               if k.startswith("st_")},
+        "host_crashes": perf.host_crashes,
+        "fault_delay_us": perf.fault_delay_us,
+        "clocks_us": tuple(site.machine(n).clock.now_us
+                           for n in ("brick", "schooner", "brador")),
+        "trace_jsonl": site.cluster.tracer.to_jsonl(),
+    }
+
+
+def _statd_engines_agree(run):
+    summaries = {}
+    for engine in ("scan", "fast"):
+        summaries[engine] = run(engine)
+    assert summaries["scan"] == summaries["fast"], "engines disagree"
+    return summaries["fast"]
+
+
+def test_statd_chaos_report_loss_leaves_spool_empty():
+    """Every report is lost in flight: sampling continues unharmed,
+    nothing reaches the spool, every loss is counted."""
+    summary = _statd_engines_agree(
+        lambda engine: _summarize_statd(*_statd_scenario(
+            engine, "statd.send fail n=*")))
+    assert summary["statuses"] == (0, 0)
+    assert summary["st"]["st_samples"] == 12  # 6 rounds x 2 daemons
+    assert summary["st"]["st_reports_sent"] == 0
+    assert summary["st"]["st_reports_dropped"] == 12
+    assert summary["st"]["st_reports_recv"] == 0
+    assert summary["spool"] == {"brick": None, "schooner": None}
+    assert ("statd.send", "fail", 12) in summary["fired"]
+
+
+def test_statd_chaos_spool_delay_still_lands():
+    """A slow spool shifts virtual time but loses nothing: every
+    report still lands and the delay is pure virtual time."""
+    summary = _statd_engines_agree(
+        lambda engine: _summarize_statd(*_statd_scenario(
+            engine, "statd.spool delay n=2 delay=0.4")))
+    assert summary["statuses"] == (0, 0)
+    assert summary["st"]["st_reports_sent"] == 12
+    assert summary["st"]["st_reports_recv"] == 12
+    assert summary["st"]["st_reports_dropped"] == 0
+    assert summary["fault_delay_us"] == 2 * 400_000
+    assert summary["spool"]["brick"] is not None
+    assert summary["spool"]["schooner"] is not None
+
+
+def test_statd_chaos_server_crash_mid_report():
+    """The file server dies on the first report: the spool dies with
+    it, the daemons shrug — they skip the suspect spooler, finish
+    their rounds and exit cleanly."""
+    summary = _statd_engines_agree(
+        lambda engine: _summarize_statd(*_statd_scenario(
+            engine, "statd.send crash n=1 target=brador",
+            rounds=10)))
+    assert summary["alive"] == ("brick", "schooner")
+    assert summary["host_crashes"] == 1
+    assert summary["statuses"] == (0, 0)
+    assert summary["st"]["st_reports_recv"] == 0
+    assert summary["st"]["st_samples"] == 20
+    assert summary["st"]["st_suspect_skips"] >= 1
+    assert summary["spool"] == {"brick": None, "schooner": None}

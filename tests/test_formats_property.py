@@ -1,14 +1,15 @@
 """Property-based round-trip tests for the wire and dump formats.
 
-Seeded ``random`` generation, no extra dependencies: ~400 randomized
-FilesInfo/StackInfo/LoadReport/MigRecord instances must survive pack
-→ unpack → pack with byte-identical output, and damaged blobs
-(truncations, bad magic, bad entry kinds, bad versions) must raise
-:class:`UnixError` cleanly rather than crash with an
+Seeded ``random`` generation, no extra dependencies: ~500 randomized
+FilesInfo/StackInfo/LoadReport/MigRecord/StatReport instances must
+survive pack → unpack → pack with byte-identical output, and damaged
+blobs (truncations, bad magic, bad entry kinds, bad versions) must
+raise :class:`UnixError` cleanly rather than crash with an
 IndexError/struct.error — restart and dumpproc parse dump files from
-NFS, loadd-recv parses LOADREPORTs straight off the network, and the
-recovery sweep parses ledger records that a crash may have torn, so
-all of them must fail predictably on torn or hostile input.
+NFS, loadd-recv parses LOADREPORTs and statd-recv STATREPORTs
+straight off the network, and the recovery sweep parses ledger
+records that a crash may have torn, so all of them must fail
+predictably on torn or hostile input.
 """
 
 import random
@@ -28,9 +29,11 @@ from repro.net.loadd import (LOADREPORT_VERSION, MAX_CANDIDATES,
                              LoadReport)
 from repro.net.migledger import (MIGLEDGER_VERSION, PHASE_NAMES,
                                  MigRecord)
+from repro.net.statd import (MAX_SAMPLES, MAX_SERIES,
+                             STATREPORT_VERSION, StatReport)
 from repro.vm.image import Registers
 
-CASES = 100  # per format: 400 round-trips in all
+CASES = 100  # per format: 500 round-trips in all
 
 
 def _random_text(rng, max_len=40):
@@ -108,6 +111,20 @@ def _random_load_report(rng):
                       candidates=candidates)
 
 
+def _random_stat_report(rng):
+    series = []
+    for __ in range(rng.randrange(0, MAX_SERIES + 1)):
+        samples = tuple(
+            (rng.randrange(0, 1 << 32), rng.randrange(0, 1 << 32))
+            for __ in range(rng.randrange(0, MAX_SAMPLES + 1)))
+        series.append((_random_text(rng, 12),
+                       rng.randrange(0, 1 << 32), samples))
+    return StatReport(host=_random_text(rng, 16),
+                      time_s=rng.randrange(0, 1 << 32),
+                      seq=rng.randrange(0, 1 << 16),
+                      series=series)
+
+
 # -- round trips -----------------------------------------------------------
 
 
@@ -153,6 +170,20 @@ def test_load_report_roundtrip_bytes_identical():
         assert back.time_s == report.time_s
         assert back.runnable == report.runnable
         assert back.candidates == report.candidates
+
+
+def test_stat_report_roundtrip_bytes_identical():
+    rng = random.Random(0x57A7)
+    for case in range(CASES):
+        report = _random_stat_report(rng)
+        blob = report.pack()
+        back = StatReport.unpack(blob)
+        assert back.pack() == blob, "case %d not byte-identical" % case
+        assert back == report
+        assert back.host == report.host
+        assert back.time_s == report.time_s
+        assert back.seq == report.seq
+        assert back.series == report.series
 
 
 def test_mig_record_roundtrip_bytes_identical():
@@ -257,6 +288,54 @@ def test_load_report_candidate_overflow_rejected():
         LoadReport.unpack(doctored)
 
 
+def test_stat_report_truncations_raise_cleanly():
+    rng = random.Random(0x7A10)
+    blob = _random_stat_report(rng).pack()
+    cuts = set(range(min(256, len(blob)))) | {
+        rng.randrange(len(blob)) for __ in range(128)}
+    for cut in sorted(cuts):
+        with pytest.raises(UnixError):
+            StatReport.unpack(blob[:cut])
+
+
+def test_stat_report_bad_magic_and_version_raise_cleanly():
+    blob = StatReport("brick", 10, 2,
+                      [("runq", 3, ((10, 1),))]).pack()
+    for mangled in (b"\x00\x00", b"\xff\xff"):
+        with pytest.raises(UnixError):
+            StatReport.unpack(mangled + blob[2:])
+    assert blob[2] == STATREPORT_VERSION
+    for version in (0, STATREPORT_VERSION + 1, 0xFF):
+        doctored = blob[:2] + bytes((version,)) + blob[3:]
+        with pytest.raises(UnixError):
+            StatReport.unpack(doctored)
+
+
+def test_stat_report_overflow_rejected():
+    # at construction: too many series, too many samples
+    with pytest.raises(UnixError):
+        StatReport("brick", 10, 2,
+                   [("s%d" % i, 0, ())
+                    for i in range(MAX_SERIES + 1)])
+    with pytest.raises(UnixError):
+        StatReport("brick", 10, 2,
+                   [("runq", 0,
+                     tuple((t, 0) for t in range(MAX_SAMPLES + 1)))])
+    # ...and in doctored blobs claiming more than allowed
+    report = StatReport("brick", 10, 2, [("runq", 3, ((10, 1),))])
+    blob = report.pack()
+    count_at = 2 + 1 + (2 + len(report.host)) + 4 + 2
+    doctored = (blob[:count_at] + struct.pack("<H", MAX_SERIES + 1)
+                + blob[count_at + 2:])
+    with pytest.raises(UnixError):
+        StatReport.unpack(doctored)
+    len_at = count_at + 2 + (2 + len("runq")) + 4
+    doctored = (blob[:len_at] + struct.pack("<H", MAX_SAMPLES + 1)
+                + blob[len_at + 2:])
+    with pytest.raises(UnixError):
+        StatReport.unpack(doctored)
+
+
 def test_mig_record_truncations_raise_cleanly():
     rng = random.Random(0x7A0F)
     blob = _random_mig_record(rng).pack()
@@ -306,3 +385,5 @@ def test_empty_and_garbage_blobs_raise_cleanly():
             StackInfo.unpack(blob)
         with pytest.raises(UnixError):
             LoadReport.unpack(blob)
+        with pytest.raises(UnixError):
+            StatReport.unpack(blob)

@@ -270,4 +270,42 @@ def test_all_emission_categories_are_known():
     assert CATEGORIES == {"syscall", "signal", "sched", "net.msg",
                           "net.sock", "fault", "hb", "dump",
                           "restart", "migrate", "recovery", "chunk",
-                          "loadd"}
+                          "loadd", "statd", "alert"}
+
+
+def test_chrome_export_emits_metric_counter_events():
+    from repro.obs import to_chrome
+    events = [{"ts": 5, "cat": "hb", "name": "tick", "host": "brick"}]
+    metrics = {"counters": {"dumps{host=brick}": 2, "flag": True},
+               "histograms": {}}
+    doc = to_chrome(events, metrics)
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert [e["name"] for e in counters] == ["dumps{host=brick}"]
+    assert counters[0]["args"] == {"value": 2}
+    assert counters[0]["ts"] == 5  # stamped at the trace's end
+    metas = [e for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["pid"] == 0]
+    assert metas and metas[0]["args"] == {"name": "cluster"}
+    assert validate_chrome(doc) == len(doc["traceEvents"])
+
+
+def test_validate_chrome_rejects_non_numeric_counters():
+    doc = {"traceEvents": [
+        {"ph": "C", "pid": 0, "tid": 0, "ts": 1, "name": "x",
+         "args": {"value": "not a number"}}]}
+    with pytest.raises(ValueError):
+        validate_chrome(doc)
+    doc = {"traceEvents": [
+        {"ph": "C", "pid": 0, "tid": 0, "ts": 1, "name": "x",
+         "args": {}}]}
+    with pytest.raises(ValueError):
+        validate_chrome(doc)
+
+
+def test_tracer_chrome_export_carries_metric_snapshots():
+    site, __ = _migrated_site("fast", ("migrate", "dump",
+                                       "restart"))
+    doc = site.cluster.tracer.to_chrome()
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert any(e["name"].startswith("dumps") for e in counters)
+    assert validate_chrome(doc) == len(doc["traceEvents"])
