@@ -11,9 +11,19 @@ driver, predecoded instruction blocks) — then:
   the speedup, the fast engine's burst-length histogram and the
   decode-cache hit rate.
 
+The JSON write is merge-preserving: keys other benchmarks put in the
+same file (``bench_vm_micro``'s ``vm_micro`` section) survive a rerun.
+
+``--check-floor`` compares the run against the committed
+``benchmarks/perf_floor.json`` — recorded reference numbers scaled by
+a generous tolerance, so CI catches a real regression (a driver or
+emitter change that halves throughput) without flaking on slower
+runner hardware.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf_scale.py [--smoke]
+    PYTHONPATH=src python benchmarks/bench_perf_scale.py --smoke --check-floor
 
 The workload: K CPU-bound hogs spread over N machines run for a
 while, then every hog is migrated one machine to the right (dumpproc
@@ -41,6 +51,10 @@ SMOKE_ITERATIONS = 5_000
 
 #: virtual time at which the storm strikes (hogs must be mid-loop)
 STORM_AT_US = 150_000.0
+
+#: committed reference numbers for --check-floor
+FLOOR_FILE = os.path.join(os.path.dirname(__file__) or ".",
+                          "perf_floor.json")
 
 
 def run_storm(engine, machines=DEFAULT_MACHINES, procs=DEFAULT_PROCS,
@@ -160,11 +174,66 @@ def run_benchmark(machines=DEFAULT_MACHINES, procs=DEFAULT_PROCS,
         "speedup_steps_per_sec": round(speedup, 3),
         "virtual_time_identical": True,
     }
-    with open(out, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    _merge_write(out, report)
     say("speedup: %.2fx (written to %s)" % (speedup, out))
     return report
+
+
+def _merge_write(out, report):
+    """Write ``report``'s keys into ``out`` without clobbering keys
+    other benchmarks keep in the same file (e.g. ``vm_micro``)."""
+    doc = {}
+    if os.path.exists(out):
+        try:
+            with open(out) as fh:
+                doc = json.load(fh)
+        except (ValueError, OSError):
+            doc = {}
+    if not isinstance(doc, dict):
+        doc = {}
+    doc.update(report)
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _lookup(report, dotted):
+    value = report
+    for part in dotted.split("."):
+        value = value[part]
+    return value
+
+
+def check_floor(report, smoke, floor_path=FLOOR_FILE, verbose=True):
+    """Compare a run against the committed floor; returns the list of
+    human-readable failures (empty when everything clears).
+
+    Each floor entry is a dotted path into the report and the
+    reference value recorded on the development machine; the effective
+    gate is ``reference * tolerance``, with tolerance deliberately
+    loose — the gate exists to catch order-of-magnitude regressions
+    (a broken trace emitter, an accidentally-quadratic driver), not to
+    measure the CI runner.
+    """
+    with open(floor_path) as fh:
+        doc = json.load(fh)
+    tolerance = doc["tolerance"]
+    floors = doc["floors"]["smoke" if smoke else "full"]
+    failures = []
+    for dotted, reference in sorted(floors.items()):
+        gate = reference * tolerance
+        measured = _lookup(report, dotted)
+        status = "ok" if measured >= gate else "FAIL"
+        if verbose:
+            print("  floor %-28s %10.1f >= %10.1f (%.1f * %.2f)  %s"
+                  % (dotted, measured, gate, reference, tolerance,
+                     status), flush=True)
+        if measured < gate:
+            failures.append("%s: measured %.1f below floor %.1f "
+                            "(reference %.1f, tolerance %.2f)"
+                            % (dotted, measured, gate, reference,
+                               tolerance))
+    return failures
 
 
 def main(argv=None):
@@ -177,10 +246,20 @@ def main(argv=None):
     parser.add_argument("--smoke", action="store_true",
                         help="small iteration count for CI "
                              "(same storm shape, no speedup gate)")
+    parser.add_argument("--check-floor", action="store_true",
+                        help="fail if the run lands below the floors "
+                             "committed in benchmarks/perf_floor.json")
     args = parser.parse_args(argv)
     iterations = SMOKE_ITERATIONS if args.smoke else args.iterations
     report = run_benchmark(machines=args.machines, procs=args.procs,
                            iterations=iterations, out=args.out)
+    if args.check_floor:
+        failures = check_floor(report, smoke=args.smoke)
+        if failures:
+            for failure in failures:
+                print("FAIL: %s" % failure)
+            return 1
+        print("perf floor: clear")
     if not args.smoke and report["speedup_steps_per_sec"] < 3.0:
         print("FAIL: speedup %.2fx below the 3x target"
               % report["speedup_steps_per_sec"])

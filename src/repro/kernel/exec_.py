@@ -178,6 +178,12 @@ class ExecSupport:
         # exec is a whole-image transition: no stale predecoded
         # instructions may survive into the new program
         image.invalidate_decode_cache()
+        # ... but the new program's text may already be compiled in the
+        # shared content-keyed code cache (a re-exec, or a binary a
+        # peer already ran before a migration) — account the arrival
+        # now so warm-vs-cold lands in telemetry at exec time
+        if image._lazy is None:
+            self.machine.cpu.warm_code_cache(image)
 
         proc.image = VMImageState(image)
         proc.command = basename(path)

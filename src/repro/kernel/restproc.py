@@ -119,6 +119,12 @@ class RestProcSupport:
         # the overlay replaced text and stack wholesale; any decode
         # cache predating the overlay must not be resumed into
         image.invalidate_decode_cache()
+        # a migrated process usually lands with text this cluster has
+        # seen before: the shared code cache already holds its traces,
+        # so the restart pays no recompilation (zero cache_rebuilds
+        # for re-arrivals of unchanged text)
+        if image._lazy is None:
+            self.machine.cpu.warm_code_cache(image)
         if info.stack_manifest is not None and image.chunk_baseline is not None:
             # the stack manifest completes the re-dump baseline the
             # chunked exec started; every page is clean until the

@@ -245,6 +245,31 @@ class MiscSyscalls:
         self.charge(self.costs.filetable_op_us * max(1, len(rows)))
         return rows
 
+    def sys_vmcache(self, proc):
+        """The trace compiler's cluster-wide cache counters, for
+        migstat(1) and migtop(1).
+
+        One flat dict: how many exec/restart arrivals found their text
+        already compiled in the shared content-keyed code cache
+        (``shared_cache_hits``) versus compiled from scratch
+        (``cache_rebuilds``), the compiler's volume counters, and how
+        many distinct text segments the cache currently holds.  A
+        healthy migration-heavy cluster shows hits far above rebuilds
+        — re-arrivals of unchanged text never recompile.
+        """
+        perf = self.machine.cluster.perf
+        cache = self.machine.cluster._code_cache
+        self.charge(self.costs.filetable_op_us)
+        return {
+            "shared_cache_hits": perf.shared_cache_hits,
+            "cache_rebuilds": perf.cache_rebuilds,
+            "blocks_compiled": perf.blocks_compiled,
+            "traces_linked": perf.traces_linked,
+            "instructions_decoded": perf.instructions_decoded,
+            "reg_spills": perf.reg_spills,
+            "cached_texts": cache.texts(),
+        }
+
     # -- cluster telemetry (DESIGN.md section 13) ----------------------------
 
     def sys_statgauges(self, proc):

@@ -306,7 +306,7 @@ _NATIVE_SIMPLE = {
     "daemon_setup", "chmod", "chown", "access", "link", "rename",
     "read_timeout", "reap", "sysctl", "perf_note", "hb_start",
     "hb_status", "readdir", "trace_status", "trace_mark",
-    "trace_span", "migstat", "statgauges", "critpath",
+    "trace_span", "migstat", "vmcache", "statgauges", "critpath",
     "fault_point", "fault_data", "dump_ledger", "store_get",
 }
 

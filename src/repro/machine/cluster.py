@@ -17,14 +17,21 @@ Two drivers implement that contract:
   virtual time any other machine could affect it.  In a pure
   message-passing simulation that is the peers' best next-action
   time plus the network's minimum message latency (the classic
-  conservative-PDES lookahead); because our machines additionally
-  share synchronous NFS state, the latency term collapses to zero
-  and the horizon is the exact point where the reference scan would
-  stop picking this machine.  The horizon is recomputed whenever the
-  bursting machine posts new deliveries, because its own messages
-  can wake a peer early and solicit a reply inside the old window.
+  conservative-PDES lookahead).  Our machines additionally share
+  synchronous NFS state, which collapses the latency term to zero —
+  but a peer whose next action is a *scheduling slot* (purely
+  runnable, no pending events) cannot emit anything visible before
+  its slot charges the context switch and runs, so such peers
+  contribute ``next_time + context_switch_us + quantum_us`` to the
+  horizon.  That overlap window is what lets machines whose quanta
+  overlap in virtual time run several slots per pick instead of
+  leapfrogging one step at a time.  The horizon is memoized: a
+  peer's activity during a burst does an O(1) min-update, and only
+  growth of the horizon machine's own key forces an O(M) recompute.
 * ``engine="scan"`` is the original reference driver: an O(M) scan
-  per step.  It is kept for benchmarking and as the executable
+  per step, using the *same* overlap-window rule (a sticky burst
+  machine it keeps picking while no peer's window allows earlier
+  interference).  It is kept for benchmarking and as the executable
   specification the fast driver must agree with step for step.
 
 Both produce identical virtual-time results; the fast driver only
@@ -41,6 +48,7 @@ from repro.net.network import Network
 from repro.obs import Tracer
 from repro.perf import PerfCounters
 from repro.store import ChunkStore
+from repro.vm.cpu import CodeCache
 
 _INF = float("inf")
 
@@ -74,6 +82,18 @@ class Cluster:
         self._dirty = set()  #: machines whose heap key may have changed
         self._bursting = None  #: machine currently inside a burst
         self._horizon_stale = False
+        # the memoized event horizon: the minimum lookahead key over
+        # every non-bursting machine with work, and the machine that
+        # attains it (so note_activity can tell a harmless update from
+        # one that invalidates the minimum)
+        self._horizon = (_INF, _INF)
+        self._horizon_src = None
+        #: the scan engine's sticky burst machine (the reference twin
+        #: of the fast engine's burst; reset per run()/run_until())
+        self._burst_machine = None
+        # compiled traces shared by every machine's CPU, so a migrated
+        # process arrives with its hot code already compiled
+        self._code_cache = CodeCache()
 
     # -- topology --------------------------------------------------------------
 
@@ -85,6 +105,7 @@ class Cluster:
         # mirroring the reference driver's dict-order scan
         machine.order = len(self.machines)
         machine.cpu.perf = self.perf
+        machine.cpu.code_cache = self._code_cache
         if self.engine == "scan":
             # the reference engine is the *whole* pre-change engine:
             # O(M) scan driver and lazily-decoding interpreter
@@ -201,22 +222,60 @@ class Cluster:
         for machine in self.machines.values():
             machine.clock.advance_to(now)
 
+    def _lookahead_key(self, machine):
+        """The earliest ``(time, order)`` at which ``machine`` could
+        make anything visible to a peer.
+
+        A machine whose next action is a scheduling slot (purely
+        runnable, no pending events) first charges the context switch
+        and then runs a quantum; nothing it does lands on shared state
+        before that window opens.  A machine with pending events gets
+        no window: an event handler may emit immediately.
+        """
+        when = machine.next_time()
+        if not machine._events \
+                and machine.kernel.scheduler.has_runnable():
+            when += self.costs.context_switch_us + self.costs.quantum_us
+        return (when, machine.order)
+
+    def _peers_horizon(self, current):
+        """Minimum lookahead key over every other machine with work."""
+        best = (_INF, _INF)
+        for machine in self.machines.values():
+            if machine is current or not machine.has_work():
+                continue
+            key = self._lookahead_key(machine)
+            if key < best:
+                best = key
+        return best
+
     def step(self):
         """Step the laggard machine once; False if nothing has work.
 
         This is the reference driver (and the ``engine="scan"``
         building block): an O(M) scan with dict-insertion-order
-        tie-break, which the fast driver reproduces exactly.
+        tie-break.  A sticky burst machine keeps getting picked while
+        no peer's overlap window lets it interfere earlier — the exact
+        schedule the fast driver reproduces with its heap and
+        memoized horizon.
         """
+        current = self._burst_machine
+        if current is not None and current.has_work() \
+                and (current.next_time(), current.order) \
+                < self._peers_horizon(current):
+            current.step()
+            self.perf.steps += 1
+            return True
         best = None
-        best_time = _INF
+        best_key = (_INF, _INF)
         for machine in self.machines.values():
             if not machine.has_work():
                 continue
-            when = machine.next_time()
-            if when < best_time:
+            key = (machine.next_time(), machine.order)
+            if key < best_key:
                 best = machine
-                best_time = when
+                best_key = key
+        self._burst_machine = best
         if best is None:
             return False
         best.step()
@@ -226,6 +285,9 @@ class Cluster:
     def run(self, max_steps=5_000_000, until_us=None):
         """Run until idle, a time bound, or a step bound."""
         if self.engine == "scan":
+            # a fresh drive starts with a fresh pick, exactly like the
+            # fast engine's _drive (bursts never span driver calls)
+            self._burst_machine = None
             for __ in range(max_steps):
                 if until_us is not None \
                         and self.wall_time_us() >= until_us:
@@ -246,6 +308,7 @@ class Cluster:
         type) or the step bound is hit with the predicate still false.
         """
         if self.engine == "scan":
+            self._burst_machine = None
             for __ in range(max_steps):
                 if predicate():
                     return
@@ -273,19 +336,37 @@ class Cluster:
     # -- fast driver internals -------------------------------------------------
 
     def note_activity(self, machine):
-        """A machine's next-action time may have moved (new event or
-        newly runnable process).  Called by :meth:`Machine.post_event`
-        and the scheduler's enqueue."""
-        if self._bursting is not None and machine is not self._bursting:
-            # the bursting machine just scheduled work on a peer; the
-            # peer might now act (and message back) before the old
-            # horizon, so the horizon must be recomputed
+        """A machine's next-action time may have moved (new event,
+        newly runnable process, crash, reboot).  Called by
+        :meth:`Machine.post_event`, the scheduler's enqueue and the
+        host failure primitives.
+
+        Mid-burst, the memoized horizon absorbs most activity in O(1):
+        a key at or above the current minimum from some other machine
+        changes nothing (``horizon_memo_hits``); a smaller key lowers
+        the minimum in place; only the horizon machine's *own* key
+        moving away from the recorded minimum — a peer that crashed or
+        rebooted out from under it — forces the O(M) recompute
+        (``horizon_invalidations``).
+        """
+        self._dirty.add(machine)
+        bursting = self._bursting
+        if bursting is None or machine is bursting:
+            return
+        key = self._lookahead_key(machine)
+        if key < self._horizon:
+            self._horizon = key
+            self._horizon_src = machine
+            self.perf.horizon_invalidations += 1
+        elif machine is self._horizon_src and key != self._horizon:
             self._horizon_stale = True
             self.perf.horizon_invalidations += 1
-        self._dirty.add(machine)
+        else:
+            self.perf.horizon_memo_hits += 1
 
     def _push(self, machine):
         machine.heap_token += 1
+        self.perf.heap_pushes += 1
         heapq.heappush(self._heap,
                        (machine.next_time(), machine.order,
                         machine.heap_token, machine))
@@ -323,6 +404,25 @@ class Cluster:
             return heap[0]
         return None
 
+    def _recompute_horizon(self):
+        """O(M) scan for the burst horizon: the minimum *lookahead*
+        key over every other machine with work.  The heap top cannot
+        stand in for this — heap entries carry raw next-action keys,
+        and the minimum of the lookahead keys is not necessarily
+        attained by the raw minimum."""
+        best = (_INF, _INF)
+        src = None
+        bursting = self._bursting
+        for machine in self.machines.values():
+            if machine is bursting or not machine.has_work():
+                continue
+            key = self._lookahead_key(machine)
+            if key < best:
+                best = key
+                src = machine
+        self._horizon = best
+        self._horizon_src = src
+
     def _drive(self, max_steps, until_us=None, predicate=None):
         """The event-horizon batched driver.
 
@@ -337,14 +437,17 @@ class Cluster:
         latency (``costs.message_us(0)``) — but our machines also
         share synchronous state (NFS cross-mounts resolve remote reads
         and writes instantly, with no delivery event), which collapses
-        the safe latency term to zero.  The horizon is therefore the
-        exact ``(next_time, order)`` key at which the reference scan
-        would stop picking this machine, so the burst reproduces the
-        reference schedule step for step — bursts amortize the pick,
-        they never reorder it.  When the burst posts a delivery to a
-        peer, the peer's next-action time — and hence the horizon —
-        can shrink (the peer may react and message back), so the
-        horizon is recomputed (:meth:`note_activity` flags it).
+        the safe latency term to zero for peers with pending events.
+        Peers that would next run a scheduling slot get the overlap
+        window instead (see :meth:`_lookahead_key`): machines whose
+        quanta overlap in virtual time are simulated-parallel, and
+        running the laggard's overlapping slots back to back is a
+        valid serialization the reference scan commits to with the
+        same rule — bursts amortize the pick and never diverge from
+        the scan schedule.  When the burst posts a delivery to a peer,
+        the peer's lookahead key — and hence the horizon — can
+        shrink; :meth:`note_activity` folds that into the memoized
+        horizon in O(1) and only a grown key forces a recompute.
         """
         perf = self.perf
         steps = 0
@@ -364,13 +467,12 @@ class Cluster:
             order = machine.order
             burst = 0
             try:
-                nxt = self._peek()
-                horizon = (nxt[0], nxt[1]) if nxt is not None \
-                    else (_INF, _INF)
+                self._recompute_horizon()
                 while steps < max_steps:
                     # the first step is unconditional: the laggard was
                     # chosen exactly as the reference scan would
-                    if burst and (machine.next_time(), order) >= horizon:
+                    if burst and (machine.next_time(), order) \
+                            >= self._horizon:
                         break
                     if not machine.step():
                         break
@@ -386,10 +488,7 @@ class Cluster:
                         return "until"
                     if self._horizon_stale:
                         self._horizon_stale = False
-                        self._flush_dirty()
-                        nxt = self._peek()
-                        horizon = (nxt[0], nxt[1]) if nxt is not None \
-                            else (_INF, _INF)
+                        self._recompute_horizon()
             finally:
                 self._bursting = None
                 perf.note_burst(burst)

@@ -259,6 +259,9 @@ class Machine:
         self.ports.clear()
         self.kernel.scheduler.runq.clear()
         self.kernel.procs = ProcTable()
+        # a crash mid-burst can be the horizon machine vanishing: the
+        # memoized horizon must hear about it
+        self.cluster.note_activity(self)
 
     def reboot(self):
         """Bring a crashed host back with a fresh kernel.
@@ -278,6 +281,9 @@ class Machine:
                                   self.cluster.wall_time_us())
                               + self.costs.boot_s * 1_000_000.0)
         self.running = True
+        # the machine is pickable again (and its next-action time
+        # jumped past the boot delay): update the driver's bookkeeping
+        self.cluster.note_activity(self)
 
     def _wipe_directory(self, path):
         try:

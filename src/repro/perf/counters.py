@@ -3,7 +3,8 @@
 One :class:`PerfCounters` instance is owned by each
 :class:`~repro.machine.cluster.Cluster` and shared with every machine's
 CPU, so a run's scheduler work (steps, bursts, horizon invalidations)
-and VM work (instructions, predecode cache traffic) land in one place.
+and VM work (instructions, trace-compiler and shared-code-cache
+traffic) land in one place.
 
 The flat attributes are the hot-path counters (``perf.steps += 1``
 from the innermost driver loop); the labelled per-host/per-phase
@@ -23,11 +24,19 @@ COUNTER_DOCS = {
     "steps": "machine steps executed by the cluster driver",
     "bursts": "event-horizon bursts (fast engine only)",
     "horizon_invalidations": "horizons recomputed mid-burst",
+    "horizon_memo_hits": "mid-burst activity absorbed by the memoized "
+                         "horizon without a recompute",
+    "heap_pushes": "machine re-insertions into the fast engine's "
+                   "lazy heap",
     "vm_instructions": "instructions retired by all CPUs",
     "instructions_decoded": "instructions actually decoded",
-    "blocks_compiled": "straight-line blocks compiled",
-    "block_cache_hits": "whole text segments reused verbatim",
-    "cache_rebuilds": "per-image decode caches (re)built",
+    "blocks_compiled": "straight-line blocks compiled into traces",
+    "traces_linked": "block-to-block links baked into compiled traces",
+    "reg_spills": "cached registers spilled back at trace exits",
+    "shared_cache_hits": "exec/restart arrivals whose text was already "
+                         "compiled in the shared code cache",
+    "cache_rebuilds": "text segments compiled from scratch (first "
+                      "sighting of those bytes)",
     "faults_injected": "fault rules that fired",
     "fault_delay_us": "virtual time added by delay rules",
     "fault_corruptions": "blobs mangled by corrupt rules",
@@ -146,12 +155,16 @@ class PerfCounters:
         self.bursts = 0  #: event-horizon bursts (fast engine only)
         self.burst_hist = {}  #: bucket exponent -> burst count
         self.horizon_invalidations = 0  #: horizons recomputed mid-burst
-        # VM / decode cache
+        self.horizon_memo_hits = 0  #: activity absorbed by the memo
+        self.heap_pushes = 0  #: machine re-insertions into the heap
+        # VM / shared code cache
         self.vm_instructions = 0  #: instructions retired by all CPUs
         self.instructions_decoded = 0  #: instructions actually decoded
-        self.blocks_compiled = 0  #: straight-line blocks compiled
-        self.block_cache_hits = 0  #: whole text segments reused verbatim
-        self.cache_rebuilds = 0  #: per-image caches (re)built
+        self.blocks_compiled = 0  #: blocks compiled into traces
+        self.traces_linked = 0  #: block-to-block links baked in
+        self.reg_spills = 0  #: cached registers spilled at trace exits
+        self.shared_cache_hits = 0  #: arrivals with text already compiled
+        self.cache_rebuilds = 0  #: text segments compiled from scratch
         # fault injection / pipeline hardening
         self.faults_injected = 0  #: fault rules that fired
         self.fault_delay_us = 0.0  #: virtual time added by delay rules
@@ -263,10 +276,14 @@ class PerfCounters:
             "bursts": self.bursts,
             "burst_histogram": self.burst_histogram(),
             "horizon_invalidations": self.horizon_invalidations,
+            "horizon_memo_hits": self.horizon_memo_hits,
+            "heap_pushes": self.heap_pushes,
             "vm_instructions": self.vm_instructions,
             "instructions_decoded": self.instructions_decoded,
             "blocks_compiled": self.blocks_compiled,
-            "block_cache_hits": self.block_cache_hits,
+            "traces_linked": self.traces_linked,
+            "reg_spills": self.reg_spills,
+            "shared_cache_hits": self.shared_cache_hits,
             "cache_rebuilds": self.cache_rebuilds,
             "decode_hit_rate": round(self.decode_hit_rate(), 6),
             "faults_injected": self.faults_injected,

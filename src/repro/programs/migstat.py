@@ -5,8 +5,10 @@ In the spirit of ``ps``: where ps snapshots the process table via
 the ``migstat`` pseudo-call and prints one row per host — dumps
 taken, processes restarted, migrations completed, jobs recovered,
 crashes, and heartbeat suspicions raised by that host's detector.
-The footer reports whether event tracing is currently on (the
-``trace_status`` syscall).
+The footer reports the trace compiler's shared code-cache health
+(the ``vmcache`` pseudo-call: warm arrivals versus recompiles, and
+how many distinct text segments are cached) and whether event
+tracing is currently on (the ``trace_status`` syscall).
 
 ``-m`` additionally lists the in-flight records of the migration
 intent ledger (DESIGN.md section 12): one row per record with its
@@ -55,6 +57,14 @@ def migstat_main(argv, env):
         yield from _show_ledger()
     if opts.get("-s"):
         yield from _show_spool()
+    cache = yield ("vmcache",)
+    if not iserr(cache):
+        yield from println(
+            "vm cache: %d warm arrivals, %d rebuilds, %d texts "
+            "(%d blocks, %d links)"
+            % (cache["shared_cache_hits"], cache["cache_rebuilds"],
+               cache["cached_texts"], cache["blocks_compiled"],
+               cache["traces_linked"]))
     tracing = yield ("trace_status",)
     yield from println("tracing: %s" % ("on" if tracing == 1
                                         else "off"))

@@ -10,7 +10,10 @@ with dominant-phase attribution and per-pair rollups — the automated
 answer to "which phase dominates migration latency on this cluster".
 
 Reads the spool over NFS (``stat_spool_dir``), so it can run on any
-host; hosts whose statd stopped reporting age out of the table.
+host; hosts whose statd stopped reporting age out of the table.  A
+footer line shows the trace compiler's shared code-cache health (the
+``vmcache`` pseudo-call): warm versus cold arrivals answers "are
+migrated processes paying recompilation on landing" at a glance.
 
 Usage: ``migtop [-p]``
 """
@@ -46,6 +49,15 @@ def migtop_main(argv, env):
     if iserr(report):
         yield from print_err("migtop: critpath unavailable")
         return 1
+    cache = yield ("vmcache",)
+    if not iserr(cache):
+        total = cache["shared_cache_hits"] + cache["cache_rebuilds"]
+        warm = (100.0 * cache["shared_cache_hits"] / total) \
+            if total else 0.0
+        yield from println("vm cache: %d/%d arrivals warm (%.0f%%), "
+                           "%d texts cached"
+                           % (cache["shared_cache_hits"], total, warm,
+                              cache["cached_texts"]))
     yield from _show_alerts(report)
     if opts.get("-p"):
         yield from _show_critpath(report)

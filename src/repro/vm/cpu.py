@@ -15,10 +15,12 @@ illegal-instruction fault, reproducing the paper's heterogeneity
 crash.
 """
 
+import hashlib
+
 from repro.vm import isa
 from repro.vm.isa import Op, Mode
 from repro.vm.image import SegmentationFault, to_signed, to_unsigned
-from repro.vm.predecode import INTERP, compile_block
+from repro.vm.predecode import INTERP, compile_trace
 
 
 class Stop:
@@ -60,6 +62,41 @@ _ALU_OPS = {Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR,
             Op.XOR, Op.SHL, Op.SHR, Op.MULL, Op.DIVL, Op.BFEXT}
 
 
+class CodeCache:
+    """Content-keyed registry of compiled traces.
+
+    Traces are keyed by ``(cpu model, text base, memory size, sha-256
+    of the text bytes)`` — by *what the code is*, not by which image
+    carries it — so they are shared across images, across hosts (the
+    cluster hands every machine's CPU the same instance) and across
+    migrations: a process that dumps on one host and restarts on
+    another lands with its hot traces already compiled, and a
+    re-arrival of unchanged text never counts as a
+    ``cache_rebuilds``.
+    """
+
+    def __init__(self):
+        self._traces = {}  #: key -> {pc: trace function or INTERP}
+
+    def key_for(self, model, image):
+        return (model.name, image.text_base, image.mem_size,
+                hashlib.sha256(image.text_bytes()).digest())
+
+    def texts(self):
+        """How many distinct text segments the cache holds."""
+        return len(self._traces)
+
+    def blocks_for(self, model, image):
+        """The shared pc -> trace map for this image's text; returns
+        ``(blocks, hit)`` where ``hit`` says the text was seen before."""
+        key = self.key_for(model, image)
+        blocks = self._traces.get(key)
+        if blocks is not None:
+            return blocks, True
+        blocks = self._traces[key] = {}
+        return blocks, False
+
+
 class CPU:
     """Interpreter for one CPU model."""
 
@@ -67,33 +104,45 @@ class CPU:
         self.model = isa.cpu_model(model)
         #: optional :class:`~repro.perf.PerfCounters` (set by the cluster)
         self.perf = None
-        #: block compilation switch; the cluster's reference engine
+        #: trace compilation switch; the cluster's reference engine
         #: ("scan") turns it off so benchmarks can measure the
         #: pre-change engine end to end
         self.use_predecode = True
-        #: compiled-block registry shared across images with identical
-        #: text, so 32 copies of one program decode its text once
-        self._shared_blocks = {}
+        #: content-keyed compiled-trace registry; the cluster replaces
+        #: it with one instance shared by every machine's CPU so a
+        #: migrated process finds its traces already compiled
+        self.code_cache = CodeCache()
 
     # -- decode-cache management -----------------------------------------
 
+    def warm_code_cache(self, image):
+        """Account a code-cache arrival for ``image`` (exec/restart).
+
+        Ensures the shared registry entry for the image's text exists
+        without touching ``image._decode_cache`` (the per-image
+        attachment stays lazy until the first run).  A known text is a
+        ``shared_cache_hits`` — the migrated process skips recompila-
+        tion outright — while unseen text is the one honest
+        ``cache_rebuilds``.
+        """
+        if not self.use_predecode:
+            return  # the reference engine never compiles anything
+        __, hit = self.code_cache.blocks_for(self.model, image)
+        perf = self.perf
+        if perf is not None:
+            if hit:
+                perf.shared_cache_hits += 1
+            else:
+                perf.cache_rebuilds += 1
+
     def _prepare_cache(self, image):
         """(Re)build an image's decode cache: ``(version, blocks,
-        decoded)`` where ``blocks`` maps pc -> compiled block (shared
+        decoded)`` where ``blocks`` maps pc -> compiled trace (shared
         between images with byte-identical text) and ``decoded`` is the
         per-image lazy single-instruction cache for out-of-text pcs."""
-        text = bytes(image.mem[image.text_base:
-                               image.text_base + image.text_size])
-        key = (self.model.name, image.text_base, image.mem_size, text)
-        blocks = self._shared_blocks.get(key)
-        perf = self.perf
-        if blocks is None:
-            blocks = {}
-            self._shared_blocks[key] = blocks
-        elif perf is not None:
-            perf.block_cache_hits += 1
-        if perf is not None:
-            perf.cache_rebuilds += 1
+        blocks, hit = self.code_cache.blocks_for(self.model, image)
+        if not hit and self.perf is not None:
+            self.perf.cache_rebuilds += 1
         cache = (image.text_version, blocks, {})
         image._decode_cache = cache
         return cache
@@ -175,7 +224,7 @@ class CPU:
         a = regs.a
         mem = image.mem
         dp = image.dirty_pages
-        # Compiled blocks cover the common case; anything they cannot
+        # Compiled traces cover the common case; anything they cannot
         # prove safe bails *before mutating state* so the reference
         # interpreter below replays it with exact legacy semantics.
         # While copy-on-reference chunks are pending the interpreter
@@ -188,12 +237,13 @@ class CPU:
                 if use_blocks:
                     block = blocks.get(pc)
                     if block is None:
-                        block, ndecoded = compile_block(
+                        block, ndecoded, nlinked = compile_trace(
                             self.model, image, pc)
                         blocks[pc] = block
                         if perf is not None and ndecoded:
-                            perf.blocks_compiled += 1
+                            perf.blocks_compiled += block.blocks
                             perf.instructions_decoded += ndecoded
+                            perf.traces_linked += nlinked
                     if block is not INTERP:
                         n, npc, zf, nf, sig = block(
                             d, a, mem, dp, max_instructions - executed,
@@ -202,6 +252,8 @@ class CPU:
                         regs.pc = npc
                         regs.zf = zf
                         regs.nf = nf
+                        if perf is not None:
+                            perf.reg_spills += block.spill_regs
                         if sig == 0:
                             continue
                         if sig == 1:

@@ -163,6 +163,30 @@ def test_trace_status_syscall_and_migstat_command(site):
     assert "tracing: on" in site.console("schooner")
 
 
+@pytest.mark.parametrize("engine", ["scan", "fast"])
+def test_vmcache_pseudo_call_and_footers(engine):
+    """migstat and migtop surface the shared code cache's counters;
+    after a migration of unchanged text, arrivals are warm (the fast
+    engine) or simply zero (the scan engine never compiles)."""
+    site, __ = _migrated_site(engine=engine, categories=None)
+    assert site.run_command("brick", ["migstat"], uid=100) == 0
+    console = site.console("brick")
+    line = [l for l in console.splitlines()
+            if l.startswith("vm cache:")]
+    assert line, console
+    perf = site.cluster.perf
+    assert ("%d warm arrivals" % perf.shared_cache_hits) in line[0]
+    assert ("%d rebuilds" % perf.cache_rebuilds) in line[0]
+    if engine == "fast":
+        # the guest's text recompiled at most once; the migrated
+        # re-arrival found it in the shared cache
+        assert perf.shared_cache_hits > 0
+    assert site.run_command("schooner", ["migtop"], uid=100) == 0
+    top = site.console("schooner")
+    assert any(l.startswith("vm cache:") and "arrivals warm" in l
+               for l in top.splitlines()), top
+
+
 # -- the legacy Network.trace shim -----------------------------------------
 
 

@@ -155,3 +155,59 @@ def test_engines_agree_on_idle_and_stuck():
         assert cluster.run(max_steps=10) is True  # idle is not an error
         with pytest.raises(SimulationStuck):
             cluster.run_until(lambda: False, max_steps=10)
+
+
+def test_storm_burst_median_exceeds_one():
+    """Regression for the 1-step-burst pathology: under the overlap
+    window, the benchmark storm's typical burst must be longer than a
+    single step (the old horizon rule collapsed every burst to 1, so
+    the fast driver paid a full O(M) scan per step)."""
+    import os
+    import sys
+    bench = os.path.join(os.path.dirname(__file__), os.pardir,
+                         "benchmarks")
+    if bench not in sys.path:
+        sys.path.insert(0, bench)
+    from bench_perf_scale import run_storm
+    __, stats = run_storm("fast", 8, 32, 12000)
+    hist = stats["burst_histogram"]
+    single = hist.get("0", 0) + hist.get("1", 0)
+    multi = sum(count for label, count in hist.items()
+                if label not in ("0", "1"))
+    assert multi > single, hist  # median burst length > 1
+    assert stats["heap_pushes"] > 0
+    # every hog runs the same binary: one compile, shared ever after
+    assert stats["cache_rebuilds"] == 1
+    assert stats["shared_cache_hits"] > 0
+    assert stats["traces_linked"] > 0
+
+
+def test_horizon_memo_absorbs_mid_burst_activity():
+    """note_activity mid-burst: a late peer event is absorbed O(1)
+    (memo hit), an earlier one lowers the horizon in place, and the
+    horizon machine itself moving away forces a recompute."""
+    cluster = Cluster(engine="fast")
+    a = cluster.add_machine("a")
+    b = cluster.add_machine("b")
+    c = cluster.add_machine("c")
+    b.post_event(50_000.0, lambda: None)
+
+    cluster._bursting = a  # pretend a is mid-burst
+    cluster._recompute_horizon()
+    assert cluster._horizon_src is b
+
+    c.post_event(90_000.0, lambda: None)  # beyond the horizon
+    assert cluster.perf.horizon_memo_hits == 1
+    assert cluster._horizon_src is b
+    assert not cluster._horizon_stale
+
+    c.post_event(10_000.0, lambda: None)  # below: shrink in place
+    assert cluster._horizon_src is c
+    assert cluster._horizon[0] == 10_000.0
+    assert not cluster._horizon_stale
+    assert cluster.perf.horizon_invalidations == 1
+
+    c.crash()  # the horizon machine vanishes: memo can't stand
+    assert cluster._horizon_stale
+    assert cluster.perf.horizon_invalidations == 2
+    cluster._bursting = None
